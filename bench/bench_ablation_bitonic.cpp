@@ -1,0 +1,80 @@
+// Ablation A5: bitonic folding of TRFD's triangular loop 2 (§6.3: "we
+// transform this triangular loop into a uniform loop using the bitonic
+// scheduling technique").  Compares the folded (uniform) loop against the
+// raw triangular loop under static partitioning and under DLB: folding fixes
+// the *algorithmic* imbalance at compile time, leaving only the external
+// load for the run-time system.
+
+#include <iostream>
+
+#include "apps/trfd.hpp"
+#include "bench_common.hpp"
+#include "core/runtime.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/// TRFD loop 2 in its raw triangular (unfolded) form.
+dlb::core::AppDescriptor make_unfolded_loop2(int n) {
+  const auto N = dlb::apps::trfd_array_dim(n);
+  dlb::core::LoopDescriptor loop;
+  loop.name = "trfd-l2-unfolded";
+  loop.iterations = N;
+  loop.work_ops = [n](std::int64_t j) {
+    return dlb::apps::trfd_loop2_unfolded_work(n, j + 1);
+  };
+  loop.bytes_per_iteration = static_cast<double>(N) * 8.0;
+  loop.uniform = false;
+  dlb::core::AppDescriptor app;
+  app.name = "TRFD-L2-unfolded";
+  app.loops.push_back(std::move(loop));
+  return app;
+}
+
+dlb::core::AppDescriptor make_folded_loop2(int n) {
+  auto app = dlb::apps::make_trfd({n});
+  dlb::core::AppDescriptor out;
+  out.name = "TRFD-L2-folded";
+  out.loops.push_back(app.loops[1]);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+  const int n = 30;
+
+  std::cout << "Ablation A5: bitonic folding of TRFD loop 2 (n=" << n << ", P=4, "
+            << args.seeds << " seeds)\n\n";
+
+  support::Table table({"loop form", "dedicated NoDLB [s]", "loaded NoDLB [s]",
+                        "loaded GDDLB [s]", "GDDLB syncs"});
+  for (const bool folded : {false, true}) {
+    const auto app = folded ? make_folded_loop2(n) : make_unfolded_loop2(n);
+    auto params = bench::trfd_cluster(4);
+
+    // Dedicated cluster: only the *algorithmic* (triangular) imbalance acts.
+    auto dedicated = params;
+    dedicated.external_load = false;
+    const auto base_dedicated =
+        bench::measure_scheme(dedicated, app, core::Strategy::kNoDlb, 1, args.seed0);
+
+    const auto base =
+        bench::measure_scheme(params, app, core::Strategy::kNoDlb, args.seeds, args.seed0);
+    const auto gd =
+        bench::measure_scheme(params, app, core::Strategy::kGDDLB, args.seeds, args.seed0);
+    table.add_row({folded ? "folded (uniform)" : "unfolded (triangular)",
+                   support::fmt_fixed(base_dedicated.mean_seconds, 3),
+                   support::fmt_fixed(base.mean_seconds, 3),
+                   support::fmt_fixed(gd.mean_seconds, 3),
+                   support::fmt_fixed(gd.mean_syncs, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "(on a dedicated cluster the triangular profile alone slows the static run;\n"
+               " folding removes that imbalance at compile time, and under external load\n"
+               " the DLB run-time recovers most of what static partitioning loses)\n";
+  return 0;
+}

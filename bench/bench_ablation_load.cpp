@@ -1,0 +1,54 @@
+// Ablation A2: external-load parameters (paper §4.1: m_l amplitude, t_l
+// duration of persistence — the paper fixes m_l = 5 and never reports t_l).
+// Sweeps both for MXM on P = 4 and reports the benefit of GDDLB over NoDLB:
+// long-lived load (large t_l) preserves imbalance and rewards balancing;
+// fast-changing load self-averages and shrinks the achievable win.
+
+#include <iostream>
+
+#include "apps/mxm.hpp"
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  const auto app = apps::make_mxm({400, 400, 400});
+
+  std::cout << "Ablation A2a: persistence t_l (MXM P=4, m_l=5, " << args.seeds << " seeds)\n\n";
+  {
+    support::Table table({"t_l [s]", "NoDLB [s]", "GDDLB [s]", "GDDLB/NoDLB"});
+    for (const double tl : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      auto params = bench::mxm_cluster(4);
+      params.load.persistence = sim::from_seconds(tl);
+      const auto base = bench::measure_scheme(params, app, core::Strategy::kNoDlb, args.seeds,
+                                              args.seed0);
+      const auto gd = bench::measure_scheme(params, app, core::Strategy::kGDDLB, args.seeds,
+                                            args.seed0);
+      table.add_row({support::fmt_fixed(tl, 1), support::fmt_fixed(base.mean_seconds, 2),
+                     support::fmt_fixed(gd.mean_seconds, 2),
+                     support::fmt_fixed(gd.mean_seconds / base.mean_seconds, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nAblation A2b: amplitude m_l (MXM P=4, t_l=4s)\n\n";
+  {
+    support::Table table({"m_l", "NoDLB [s]", "GDDLB [s]", "GDDLB/NoDLB"});
+    for (const int ml : {0, 1, 3, 5, 10}) {
+      auto params = bench::mxm_cluster(4);
+      params.load.max_load = ml;
+      const auto base = bench::measure_scheme(params, app, core::Strategy::kNoDlb, args.seeds,
+                                              args.seed0);
+      const auto gd = bench::measure_scheme(params, app, core::Strategy::kGDDLB, args.seeds,
+                                            args.seed0);
+      table.add_row({std::to_string(ml), support::fmt_fixed(base.mean_seconds, 2),
+                     support::fmt_fixed(gd.mean_seconds, 2),
+                     support::fmt_fixed(gd.mean_seconds / base.mean_seconds, 3)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "(m_l = 0 is a dedicated cluster: DLB can only add overhead there)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 4: communication cost of the one-to-all (OA), all-to-one (AO), and
+// all-to-all (AA) patterns, measured on the simulated PVM/Ethernet stack for
+// P = 2..16 and polynomial-fitted — the off-line network characterization of
+// §6.1.  Also reports the point-to-point latency and bandwidth (the paper
+// measured 2414.5 us and 0.96 MB/s).
+
+#include <iostream>
+
+#include "net/characterize.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using namespace dlb;
+
+  const net::EthernetParams params;
+  const auto ch = net::characterize(params, 16);
+
+  std::cout << "Figure 4: communication cost (seconds), measured vs polyfit\n\n";
+  std::cout << "latency = " << support::fmt_fixed(ch.costs.latency_seconds * 1e6, 1)
+            << " us (paper: 2414.5 us), bandwidth = "
+            << support::fmt_fixed(ch.costs.bandwidth_bytes / 1e6, 2)
+            << " MB/s (paper: 0.96 MB/s)\n\n";
+
+  support::Table table({"P", "OA(exp)", "OA(fit)", "AO(exp)", "AO(fit)", "AA(exp)", "AA(fit)"});
+  for (int p = 2; p <= 16; ++p) {
+    double exp_value[3] = {0, 0, 0};
+    for (const auto& s : ch.samples) {
+      if (s.procs == p) exp_value[static_cast<int>(s.pattern)] = s.seconds;
+    }
+    table.add_row({std::to_string(p),
+                   support::fmt_fixed(exp_value[0], 4),
+                   support::fmt_fixed(ch.costs.eval(net::Pattern::kOneToAll, p), 4),
+                   support::fmt_fixed(exp_value[1], 4),
+                   support::fmt_fixed(ch.costs.eval(net::Pattern::kAllToOne, p), 4),
+                   support::fmt_fixed(exp_value[2], 4),
+                   support::fmt_fixed(ch.costs.eval(net::Pattern::kAllToAll, p), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "fit R^2: OA " << support::fmt_fixed(ch.r2_one_to_all, 4) << ", AO "
+            << support::fmt_fixed(ch.r2_all_to_one, 4) << ", AA "
+            << support::fmt_fixed(ch.r2_all_to_all, 4) << "\n";
+  std::cout << "shape check: OA/AO linear in P, AA quadratic; AA(16)/OA(16) = "
+            << support::fmt_fixed(ch.costs.eval(net::Pattern::kAllToAll, 16) /
+                                      ch.costs.eval(net::Pattern::kOneToAll, 16),
+                                  2)
+            << " (paper's Fig. 4 shows roughly 4-5x)\n\n";
+
+  std::cout << "csv:\n";
+  support::CsvWriter csv(std::cout);
+  csv.write_row({"P", "OA_seconds", "AO_seconds", "AA_seconds"});
+  for (int p = 2; p <= 16; ++p) {
+    double exp_value[3] = {0, 0, 0};
+    for (const auto& s : ch.samples) {
+      if (s.procs == p) exp_value[static_cast<int>(s.pattern)] = s.seconds;
+    }
+    csv.write_row({std::to_string(p), support::fmt_fixed(exp_value[0], 6),
+                   support::fmt_fixed(exp_value[1], 6), support::fmt_fixed(exp_value[2], 6)});
+  }
+  return 0;
+}

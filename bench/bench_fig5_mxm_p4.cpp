@@ -1,0 +1,35 @@
+// Figure 5: MXM normalized execution time on P = 4 under discrete random
+// external load, for the paper's four data-size configurations and all five
+// schemes.  Expected shape (paper §6.2): every DLB scheme beats NoDLB;
+// GDDLB best, GCDLB a close second; distributed beats centralized; globals
+// beat locals.
+
+#include <iostream>
+
+#include "apps/mxm.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  const apps::MxmParams configs[] = {
+      {400, 400, 400}, {400, 800, 400}, {800, 400, 400}, {800, 800, 400}};
+
+  std::vector<bench::FigureRow> rows;
+  for (const auto& mxm : configs) {
+    bench::FigureRow row;
+    row.label = "R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
+                ",R2=" + std::to_string(mxm.R2);
+    const auto app = apps::make_mxm(mxm);
+    for (const auto strategy : bench::figure_strategies()) {
+      row.schemes.push_back(bench::measure_scheme(bench::mxm_cluster(4), app, strategy,
+                                                  args.seeds, args.seed0));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_figure(std::cout, "Figure 5: MXM (P=4), " + std::to_string(args.seeds) +
+                                     " load seeds",
+                      rows);
+  return 0;
+}

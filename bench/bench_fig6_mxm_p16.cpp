@@ -1,0 +1,33 @@
+// Figure 6: MXM normalized execution time on P = 16 (R scaled so R/P = 100
+// or 200, as in the paper).  Expected shape (§6.2): same ordering as P = 4
+// but with a smaller gap between the global and local schemes.
+
+#include <iostream>
+
+#include "apps/mxm.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  const apps::MxmParams configs[] = {
+      {1600, 400, 400}, {1600, 800, 400}, {3200, 400, 400}, {3200, 800, 400}};
+
+  std::vector<bench::FigureRow> rows;
+  for (const auto& mxm : configs) {
+    bench::FigureRow row;
+    row.label = "R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
+                ",R2=" + std::to_string(mxm.R2);
+    const auto app = apps::make_mxm(mxm);
+    for (const auto strategy : bench::figure_strategies()) {
+      row.schemes.push_back(bench::measure_scheme(bench::mxm_cluster(16), app, strategy,
+                                                  args.seeds, args.seed0));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_figure(std::cout, "Figure 6: MXM (P=16), " + std::to_string(args.seeds) +
+                                     " load seeds",
+                      rows);
+  return 0;
+}

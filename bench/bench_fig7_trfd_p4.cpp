@@ -1,0 +1,31 @@
+// Figure 7: TRFD (two loops + sequential transpose) normalized execution
+// time on P = 4 for N = 30, 40, 50.  Expected shape (§6.3): every DLB
+// scheme beats NoDLB; the best scheme shifts from the local distributed
+// toward the global distributed as the data size (work per iteration)
+// grows; GCDLB beats LCDLB among the centralized schemes.
+
+#include <iostream>
+
+#include "apps/trfd.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  std::vector<bench::FigureRow> rows;
+  for (const int n : {30, 40, 50}) {
+    bench::FigureRow row;
+    row.label = "N=" + std::to_string(n) + " (" + std::to_string(apps::trfd_array_dim(n)) + ")";
+    const auto app = apps::make_trfd({n});
+    for (const auto strategy : bench::figure_strategies()) {
+      row.schemes.push_back(bench::measure_scheme(bench::trfd_cluster(4), app, strategy,
+                                                  args.seeds, args.seed0));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_figure(std::cout, "Figure 7: TRFD (P=4), " + std::to_string(args.seeds) +
+                                     " load seeds",
+                      rows);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 1: MXM actual vs predicted order of the four DLB strategies, for
+// the paper's eight configurations (P in {4,16} x four data sizes).  The
+// "actual" order ranks measured mean execution times; the "predicted" order
+// ranks the cost model's makespans on the same load realizations (§4.3).
+// The paper reports a close match with occasional adjacent swaps.
+
+#include <iostream>
+
+#include "apps/mxm.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  struct Config {
+    int procs;
+    apps::MxmParams mxm;
+  };
+  const Config configs[] = {
+      {4, {400, 400, 400}},   {4, {400, 800, 400}},   {4, {800, 400, 400}},
+      {4, {800, 800, 400}},   {16, {1600, 400, 400}}, {16, {1600, 800, 400}},
+      {16, {3200, 400, 400}}, {16, {3200, 800, 400}},
+  };
+
+  std::vector<bench::OrderRow> rows;
+  for (const auto& c : configs) {
+    const std::string label = "P=" + std::to_string(c.procs) + " R=" + std::to_string(c.mxm.R) +
+                              " C=" + std::to_string(c.mxm.C) +
+                              " R2=" + std::to_string(c.mxm.R2);
+    const auto app = apps::make_mxm(c.mxm);
+    rows.push_back(bench::order_row(label, bench::mxm_cluster(c.procs), app,
+                                    bench::shared_costs(), args.seeds, args.seed0));
+  }
+  bench::print_order_table(std::cout, "Table 1: MXM actual vs predicted strategy order", rows);
+  std::cout << "(paper's actual order: GD GC LD LC in 7/8 rows, GC GD LD LC in one)\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 2: TRFD per-loop actual vs predicted order of the four DLB
+// strategies, for P in {4,16} x N in {30,40,50} x loops {L1,L2} — the
+// paper's twelve rows.  The paper's own match here is "reasonably accurate"
+// with several adjacent swaps; the kendall-tau column quantifies ours.
+
+#include <iostream>
+
+#include "apps/trfd.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const auto args = bench::parse_bench_args(argc, argv);
+
+  std::vector<bench::OrderRow> rows;
+  for (const int procs : {4, 16}) {
+    for (const int n : {30, 40, 50}) {
+      const auto app = apps::make_trfd({n});
+      for (int loop = 0; loop < 2; ++loop) {
+        const std::string label = "P=" + std::to_string(procs) + " N=" + std::to_string(n) +
+                                  " (" + std::to_string(apps::trfd_array_dim(n)) + ") L" +
+                                  std::to_string(loop + 1);
+        rows.push_back(bench::order_row(label, bench::trfd_cluster(procs), app,
+                                        bench::shared_costs(), args.seeds, args.seed0, loop));
+      }
+    }
+  }
+  bench::print_order_table(std::cout, "Table 2: TRFD actual vs predicted strategy order",
+                           rows);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's "customization" end to end (§4.3): characterize the network
+// off-line, feed the program and load parameters into the cost model, rank
+// the four DLB strategies, commit to the best, and run under it — then
+// compare against actually running every strategy.
+//
+//   ./auto_select [--app=mxm|trfd] [--procs=4] [--seed=42] [--tl=4.0]
+//                 [--rate=3e6] [--n=30] [--R=400] [--C=400] [--R2=400]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/mxm.hpp"
+#include "apps/trfd.hpp"
+#include "cluster/cluster.hpp"
+#include "core/runtime.hpp"
+#include "decision/selector.hpp"
+#include "net/characterize.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlb;
+  const support::Cli cli(argc, argv);
+
+  const std::string app_name = cli.get("app", "mxm");
+  const int procs = static_cast<int>(cli.get_int("procs", 4));
+
+  cluster::ClusterParams params;
+  params.procs = procs;
+  params.external_load = true;
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  core::AppDescriptor app;
+  if (app_name == "trfd") {
+    app = apps::make_trfd({static_cast<int>(cli.get_int("n", 30))});
+    params.base_ops_per_sec = cli.get_double("rate", 1e6);
+    params.load.persistence = sim::from_seconds(cli.get_double("tl", 2.0));
+  } else {
+    app = apps::make_mxm({cli.get_int("R", 400), cli.get_int("C", 400), cli.get_int("R2", 400)});
+    params.base_ops_per_sec = cli.get_double("rate", 3e6);
+    params.load.persistence = sim::from_seconds(cli.get_double("tl", 16.0));
+  }
+
+  std::cout << "Characterizing the network (P = 2.." << std::max(procs, 16) << ")...\n";
+  const auto characterization = net::characterize(params.network, std::max(procs, 16));
+
+  core::DlbConfig config;
+  const decision::Selector selector(params, characterization.costs, config);
+  const auto selection = selector.select(app);
+
+  std::cout << "\nModel predictions for " << app.name << " on P=" << procs << ":\n\n";
+  support::Table predicted({"strategy", "predicted [s]", "syncs", "overhead [s]"});
+  for (const auto& p : selection.predictions) {
+    predicted.add_row({core::strategy_name(p.strategy),
+                       support::fmt_fixed(p.makespan_seconds, 3), std::to_string(p.syncs),
+                       support::fmt_fixed(p.overhead_seconds, 3)});
+  }
+  predicted.print(std::cout);
+  std::cout << "\ncommitted strategy: " << core::strategy_name(selection.chosen) << "\n\n";
+
+  std::cout << "Actual runs (same load realization):\n\n";
+  support::Table actual({"strategy", "measured [s]"});
+  for (int id = 0; id < core::kRankedStrategyCount; ++id) {
+    core::DlbConfig run_config;
+    run_config.strategy = core::ranked_strategy(id);
+    const auto result = core::run_app(params, app, run_config);
+    actual.add_row({result.strategy_name, support::fmt_fixed(result.exec_seconds, 3)});
+  }
+  actual.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The compiler half of the system (§5, Fig. 3): transform an annotated
+// sequential loop nest into SPMD code with DLB run-time library calls.
+// Reads annotated source from a file argument, or uses the paper's matrix
+// multiplication example when run without arguments.
+//
+//   ./codegen_demo [file] [--element-type=float]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "codegen/emitter.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+const char* kPaperMxm = R"(// The paper's Fig. 3 input: annotated sequential matrix multiplication.
+#pragma dlb array Z(R, C) distribute(BLOCK, WHOLE)
+#pragma dlb array X(R, R2) distribute(BLOCK, WHOLE)
+#pragma dlb array Y(R2, C) distribute(WHOLE, WHOLE)
+#pragma dlb balance
+for i = 0, R {
+  for j = 0, R2 {
+    for k = 0, C {
+      Z(i,j) += X(i,k) * Y(k,j);
+    }
+  }
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dlb::support::Cli cli(argc, argv);
+
+  std::string source;
+  if (cli.positional().empty()) {
+    source = kPaperMxm;
+  } else {
+    std::ifstream in(cli.positional()[0]);
+    if (!in) {
+      std::cerr << "cannot open " << cli.positional()[0] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  dlb::codegen::EmitOptions options;
+  options.element_type = cli.get("element-type", "double");
+
+  std::cout << "=== annotated sequential input ===\n" << source << "\n";
+  try {
+    std::cout << "=== generated SPMD output ===\n"
+              << dlb::codegen::transform(source, options);
+  } catch (const std::exception& e) {
+    std::cerr << "codegen error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

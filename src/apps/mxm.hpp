@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dlb::apps {
+
+/// Matrix multiplication Z = X * Y (paper §6.2): Z is R x C, X is R x R2,
+/// Y is R2 x C.  The outermost loop over the R rows is parallelized; rows of
+/// Z and X are distributed, Y is replicated.
+struct MxmParams {
+  std::int64_t R = 400;
+  std::int64_t C = 400;
+  std::int64_t R2 = 400;
+};
+
+/// Builds the MXM application descriptor:
+///  - one uniform loop of R iterations,
+///  - work per iteration W = C * R2 basic operations (the paper's count),
+///  - data communication DC = C elements per migrated iteration (only the
+///    rows of X move on redistribution, §6.2), 8-byte elements,
+///  - no intrinsic communication.
+[[nodiscard]] core::AppDescriptor make_mxm(const MxmParams& params);
+
+}  // namespace dlb::apps

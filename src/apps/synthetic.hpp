@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dlb::apps {
+
+/// Synthetic single-loop applications for tests and ablations.
+
+/// Uniform loop: every iteration costs `ops_per_iteration`.
+[[nodiscard]] core::AppDescriptor make_uniform(std::int64_t iterations, double ops_per_iteration,
+                                               double bytes_per_iteration);
+
+/// Triangular (decreasing) loop: iteration j costs
+/// ops_max - (ops_max - ops_min) * j / (iterations - 1).
+[[nodiscard]] core::AppDescriptor make_triangular(std::int64_t iterations, double ops_max,
+                                                  double ops_min, double bytes_per_iteration);
+
+/// Sawtooth non-uniform loop: alternates ops_a, ops_b.
+[[nodiscard]] core::AppDescriptor make_sawtooth(std::int64_t iterations, double ops_a,
+                                                double ops_b, double bytes_per_iteration);
+
+/// Stencil-like loop with intrinsic communication: every iteration computes
+/// `ops_per_iteration` and exchanges `intrinsic_bytes` with its neighbour
+/// (the IC term of §4.1 that MXM/TRFD leave at zero).
+[[nodiscard]] core::AppDescriptor make_stencil(std::int64_t iterations, double ops_per_iteration,
+                                               double bytes_per_iteration,
+                                               double intrinsic_bytes);
+
+}  // namespace dlb::apps

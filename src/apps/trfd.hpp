@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dlb::apps {
+
+/// TRFD from the Perfect Benchmarks (paper §6.3): two main computation loops
+/// with a sequentialized transpose in between.  The single major array is
+/// [n(n+1)/2] x [n(n+1)/2], column-block distributed; iterations operate on
+/// columns, so DC is the column height N = n(n+1)/2.
+struct TrfdParams {
+  int n = 30;
+};
+
+/// Array dimension N = n(n+1)/2 (465, 820, 1275 for n = 30, 40, 50).
+[[nodiscard]] std::int64_t trfd_array_dim(int n);
+
+/// Work of unfolded loop-2 iteration j (1-indexed), from the paper:
+///   n^3 + 3n^2 + n(1 + i/2 - i^2/2) + (i - i^2),
+///   i = (1 + sqrt(-7 + 8 j)) / 2.
+[[nodiscard]] double trfd_loop2_unfolded_work(int n, std::int64_t j);
+
+/// Builds the TRFD application descriptor:
+///  - loop 1: N iterations, uniform work n^3 + 3n^2 + n,
+///  - sequential transpose phase: gather to master, N^2 element moves,
+///    scatter back,
+///  - loop 2: triangular work folded into a uniform loop of ceil(N/2)
+///    iterations by bitonic scheduling (iteration j paired with N-1-j),
+///  - DC = N elements of 8 bytes for both loops (column movement).
+[[nodiscard]] core::AppDescriptor make_trfd(const TrfdParams& params);
+
+}  // namespace dlb::apps

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlb::codegen {
+
+/// Data distribution of one array dimension (the annotations the compiler
+/// supports, §5.2: BLOCK, CYCLIC and WHOLE).
+enum class Distribution { kBlock, kCyclic, kWhole };
+
+[[nodiscard]] const char* distribution_name(Distribution d) noexcept;
+
+/// A shared-array declaration from a `#pragma dlb array` annotation, e.g.
+///   #pragma dlb array Z(R, C) distribute(BLOCK, WHOLE)
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::string> extents;        // symbolic dimension sizes
+  std::vector<Distribution> distribution;  // one per dimension
+};
+
+struct Statement;
+
+/// A counted loop `for v = lo, hi { ... }` (inclusive bounds, the paper's
+/// Fig. 3 style).
+struct ForLoop {
+  std::string var;
+  std::string lo;
+  std::string hi;
+  std::vector<Statement> body;
+  /// True for the outermost loop marked `#pragma dlb balance`.
+  bool balanced = false;
+  int line = 0;
+};
+
+/// A body statement: either a nested loop or a raw expression statement kept
+/// verbatim (the compiler does not need to understand the arithmetic).
+struct Statement {
+  // Exactly one of these is set.
+  std::unique_ptr<ForLoop> loop;
+  std::string raw;  // without the trailing ';'
+  int line = 0;
+};
+
+/// A parsed annotated program: array annotations plus one top-level loop
+/// nest to be load balanced.  The balance pragma may carry symbolic cost
+/// functions (§4.3/§5.1: "the compiler ... helps to generate symbolic cost
+/// functions for the iteration cost and communication cost"):
+///
+///   #pragma dlb balance work(C * R2) comm(C * 8) intrinsic(0)
+///
+/// `work` is in basic operations per iteration (the index is `i`), `comm`
+/// in bytes moved per migrated iteration, `intrinsic` in bytes of inherent
+/// per-iteration communication.  Empty strings mean "not annotated".
+struct Program {
+  std::vector<ArrayDecl> arrays;
+  ForLoop root;
+  std::string work_expr;
+  std::string comm_expr;
+  std::string intrinsic_expr;
+};
+
+}  // namespace dlb::codegen

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "codegen/symexpr.hpp"
+#include "core/types.hpp"
+
+namespace dlb::codegen {
+
+/// The compiler half of the paper's §4.3 hybrid process: turn an annotated
+/// sequential program into a runnable core::AppDescriptor by evaluating its
+/// symbolic cost functions with the run-time parameter bindings.
+///
+///   #pragma dlb array Z(R, C) distribute(BLOCK, WHOLE)
+///   #pragma dlb balance work(C * R2) comm(C * 8)
+///   for i = 0, R { ... }
+///
+/// combined with bindings {R: 400, C: 400, R2: 400} yields the same
+/// descriptor as apps::make_mxm({400, 400, 400}).
+///
+/// The `work` clause is required (in basic operations per iteration; it may
+/// reference the iteration index `i`).  `comm` (bytes per migrated
+/// iteration) and `intrinsic` (bytes of inherent per-iteration
+/// communication) default to 0 and must be index-free.
+/// Throws std::runtime_error on parse errors, missing annotations, or
+/// unbound symbols.
+[[nodiscard]] core::AppDescriptor compile_app(const std::string& source,
+                                              const Bindings& bindings);
+
+}  // namespace dlb::codegen

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "codegen/ast.hpp"
+
+namespace dlb::codegen {
+
+struct EmitOptions {
+  /// C element type used in the generated DLB_array descriptors.
+  std::string element_type = "double";
+  /// Indentation unit.
+  std::string indent = "    ";
+};
+
+/// Emits the SPMD translation of an annotated program with DLB run-time
+/// library calls — the transformation of the paper's Fig. 3:
+///
+///   - DLB_array descriptors for every annotated array (name, rank, extents,
+///     element size, per-dimension distribution),
+///   - DLB_init / DLB_scatter_data / DLB_gather_data scaffolding,
+///   - the master branch calling DLB_master_sync,
+///   - the slave branch: the balanced loop re-bounded to the local
+///     assignment [dlb.start, dlb.end), the per-iteration interrupt check
+///     (DLB_slave_sync), and the out-of-work interrupt + profile send.
+[[nodiscard]] std::string emit_spmd(const Program& program, const EmitOptions& options = {});
+
+/// Front door: parse annotated source and emit the transformed program.
+[[nodiscard]] std::string transform(const std::string& source, const EmitOptions& options = {});
+
+}  // namespace dlb::codegen

@@ -1,0 +1,72 @@
+#include "codegen/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dlb::codegen {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '#') {
+      // Must be `#pragma dlb ...`; capture the rest of the line.
+      std::size_t end = i;
+      while (end < n && source[end] != '\n') ++end;
+      std::string text = source.substr(i, end - i);
+      constexpr const char* kPrefix = "#pragma dlb";
+      if (text.rfind(kPrefix, 0) != 0) {
+        throw std::runtime_error("line " + std::to_string(line) +
+                                 ": only '#pragma dlb' directives are supported");
+      }
+      Token t;
+      t.kind = TokenKind::kPragma;
+      t.text = text.substr(std::string(kPrefix).size());
+      t.line = line;
+      tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    if (is_word_char(c)) {
+      std::size_t end = i;
+      while (end < n && is_word_char(source[end])) ++end;
+      tokens.push_back(Token{TokenKind::kIdentifier, source.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    // Multi-character operators stay as raw text inside statements; the
+    // parser only cares about a handful of structural punctuation marks, so
+    // single-character tokens suffice.
+    tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace dlb::codegen

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlb::codegen {
+
+enum class TokenKind {
+  kIdentifier,  // names, numbers, and anything word-like
+  kPunct,       // single punctuation character
+  kPragma,      // a whole `#pragma dlb ...` line (text holds the remainder)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+};
+
+/// Splits annotated source into tokens.  `#pragma dlb` lines become single
+/// kPragma tokens; everything else is tokenized into identifiers/numbers and
+/// punctuation.  Comments (`// ...`) are skipped.
+/// Throws std::runtime_error (with a line number) on malformed input.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace dlb::codegen

@@ -1,0 +1,256 @@
+#include "codegen/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "codegen/lexer.hpp"
+
+namespace dlb::codegen {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+}
+
+/// Parses the remainder text of a `#pragma dlb array ...` directive.
+ArrayDecl parse_array_pragma(const std::string& text, int line) {
+  ArrayDecl decl;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  };
+  const auto word = [&]() -> std::string {
+    skip_ws();
+    std::size_t start = i;
+    while (i < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[i])) != 0 || text[i] == '_')) {
+      ++i;
+    }
+    if (start == i) fail(line, "expected identifier in array annotation");
+    return text.substr(start, i - start);
+  };
+  const auto expect = [&](char c) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c) {
+      fail(line, std::string("expected '") + c + "' in array annotation");
+    }
+    ++i;
+  };
+  const auto list = [&](auto consume) {
+    expect('(');
+    while (true) {
+      consume();
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    expect(')');
+  };
+
+  decl.name = word();
+  list([&] { decl.extents.push_back(word()); });
+  const std::string kw = word();
+  if (kw != "distribute") fail(line, "expected 'distribute' in array annotation");
+  list([&] {
+    const std::string d = word();
+    if (d == "BLOCK") {
+      decl.distribution.push_back(Distribution::kBlock);
+    } else if (d == "CYCLIC") {
+      decl.distribution.push_back(Distribution::kCyclic);
+    } else if (d == "WHOLE") {
+      decl.distribution.push_back(Distribution::kWhole);
+    } else {
+      fail(line, "unknown distribution '" + d + "' (BLOCK, CYCLIC, WHOLE)");
+    }
+  });
+  if (decl.extents.size() != decl.distribution.size()) {
+    fail(line, "array '" + decl.name + "': extents and distribution arity differ");
+  }
+  return decl;
+}
+
+/// Parses the optional `work(...) comm(...) intrinsic(...)` clauses of a
+/// balance pragma; expression text inside the parentheses is kept verbatim
+/// for the symbolic-expression evaluator.
+void parse_balance_clauses(const std::string& text, int line, Program* program) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  };
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) return;
+    std::size_t start = i;
+    while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i])) != 0) ++i;
+    const std::string keyword = text.substr(start, i - start);
+    skip_ws();
+    if (keyword.empty() || i >= text.size() || text[i] != '(') {
+      fail(line, "expected work(...), comm(...), or intrinsic(...) after 'balance'");
+    }
+    ++i;  // '('
+    int depth = 1;
+    std::string body;
+    while (i < text.size() && depth > 0) {
+      const char c = text[i++];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      body += c;
+    }
+    if (depth != 0) fail(line, "unbalanced parentheses in balance clause");
+    if (keyword == "work") {
+      program->work_expr = body;
+    } else if (keyword == "comm") {
+      program->comm_expr = body;
+    } else if (keyword == "intrinsic") {
+      program->intrinsic_expr = body;
+    } else {
+      fail(line, "unknown balance clause '" + keyword + "'");
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    bool balance_pending = false;
+    while (peek().kind == TokenKind::kPragma) {
+      const Token pragma = next();
+      std::size_t p = 0;
+      while (p < pragma.text.size() &&
+             std::isspace(static_cast<unsigned char>(pragma.text[p])) != 0) {
+        ++p;
+      }
+      const std::string rest = pragma.text.substr(p);
+      if (rest.rfind("array", 0) == 0) {
+        program.arrays.push_back(parse_array_pragma(rest.substr(5), pragma.line));
+      } else if (rest.rfind("balance", 0) == 0) {
+        balance_pending = true;
+        parse_balance_clauses(rest.substr(7), pragma.line, &program);
+      } else {
+        fail(pragma.line, "unknown dlb pragma '" + rest + "'");
+      }
+    }
+    if (!balance_pending) {
+      fail(peek().line, "expected '#pragma dlb balance' before the loop nest");
+    }
+    program.root = parse_loop();
+    program.root.balanced = true;
+    if (peek().kind != TokenKind::kEnd) fail(peek().line, "trailing input after loop nest");
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  void expect_punct(const char* p) {
+    const Token t = next();
+    if (t.kind != TokenKind::kPunct || t.text != p) {
+      fail(t.line, std::string("expected '") + p + "', got '" + t.text + "'");
+    }
+  }
+  std::string expect_word(const char* what) {
+    const Token t = next();
+    if (t.kind != TokenKind::kIdentifier) fail(t.line, std::string("expected ") + what);
+    return t.text;
+  }
+
+  /// Consumes a loop bound: a word or a parenthesized/simple expression up
+  /// to the next ',' or '{' at depth 0.
+  std::string parse_bound() {
+    std::string bound;
+    int depth = 0;
+    while (true) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kEnd) fail(t.line, "unterminated loop bound");
+      if (depth == 0 && t.kind == TokenKind::kPunct && (t.text == "," || t.text == "{")) break;
+      if (t.kind == TokenKind::kPunct && t.text == "(") ++depth;
+      if (t.kind == TokenKind::kPunct && t.text == ")") --depth;
+      if (!bound.empty() && t.kind == TokenKind::kIdentifier &&
+          std::isalnum(static_cast<unsigned char>(bound.back())) != 0) {
+        bound += ' ';
+      }
+      bound += next().text;
+    }
+    if (bound.empty()) fail(peek().line, "empty loop bound");
+    return bound;
+  }
+
+  ForLoop parse_loop() {
+    const Token kw = next();
+    if (kw.kind != TokenKind::kIdentifier || kw.text != "for") fail(kw.line, "expected 'for'");
+    ForLoop loop;
+    loop.line = kw.line;
+    loop.var = expect_word("loop variable");
+    expect_punct("=");
+    loop.lo = parse_bound();
+    expect_punct(",");
+    loop.hi = parse_bound();
+    expect_punct("{");
+    while (!(peek().kind == TokenKind::kPunct && peek().text == "}")) {
+      if (peek().kind == TokenKind::kEnd) fail(peek().line, "unterminated loop body");
+      Statement stmt;
+      stmt.line = peek().line;
+      if (peek().kind == TokenKind::kIdentifier && peek().text == "for") {
+        stmt.loop = std::make_unique<ForLoop>(parse_loop());
+      } else {
+        stmt.raw = parse_raw_statement();
+      }
+      loop.body.push_back(std::move(stmt));
+    }
+    expect_punct("}");
+    return loop;
+  }
+
+  std::string parse_raw_statement() {
+    std::string text;
+    while (true) {
+      const Token t = next();
+      if (t.kind == TokenKind::kEnd) fail(t.line, "unterminated statement (missing ';')");
+      if (t.kind == TokenKind::kPunct && t.text == ";") break;
+      if (t.kind == TokenKind::kPragma) fail(t.line, "pragma inside loop body");
+      if (!text.empty() && t.kind == TokenKind::kIdentifier &&
+          (std::isalnum(static_cast<unsigned char>(text.back())) != 0 || text.back() == '_')) {
+        text += ' ';
+      }
+      text += t.text;
+    }
+    if (text.empty()) fail(peek().line, "empty statement");
+    return text;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(tokenize(source)).parse_program();
+}
+
+const char* distribution_name(Distribution d) noexcept {
+  switch (d) {
+    case Distribution::kBlock:
+      return "BLOCK";
+    case Distribution::kCyclic:
+      return "CYCLIC";
+    case Distribution::kWhole:
+      return "WHOLE";
+  }
+  return "?";
+}
+
+}  // namespace dlb::codegen

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "codegen/ast.hpp"
+
+namespace dlb::codegen {
+
+/// Parses an annotated sequential program (the compiler input of §5.2):
+///
+///   #pragma dlb array Z(R, C) distribute(BLOCK, WHOLE)
+///   #pragma dlb array X(R, R2) distribute(BLOCK, WHOLE)
+///   #pragma dlb array Y(R2, C) distribute(WHOLE, WHOLE)
+///   #pragma dlb balance
+///   for i = 0, R {
+///     for j = 0, R2 {
+///       for k = 0, C {
+///         Z(i,j) += X(i,k) * Y(k,j);
+///       }
+///     }
+///   }
+///
+/// Grammar (loops use the paper's inclusive `for v = lo, hi` form):
+///   program   := annotation* loop
+///   annotation:= '#pragma dlb array' name '(' extents ')' 'distribute' '(' dists ')'
+///              | '#pragma dlb balance'
+///   loop      := 'for' ident '=' bound ',' bound '{' stmt* '}'
+///   stmt      := loop | raw-text ';'
+///
+/// Throws std::runtime_error with a line number on any syntax error.
+[[nodiscard]] Program parse(const std::string& source);
+
+}  // namespace dlb::codegen

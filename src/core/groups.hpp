@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlb::core {
+
+/// Forms the static group partition for the local strategies (§3.5).
+/// kBlock: contiguous blocks of `group_size` (remainder to the last group);
+/// kRandom: a seeded Fisher-Yates shuffle of the processor ids, then blocks
+/// — deterministic for a given seed so the run-time protocols and the cost
+/// model agree on membership.
+[[nodiscard]] std::vector<std::vector<int>> form_groups(int procs, int group_size,
+                                                        GroupMode mode, std::uint64_t seed);
+
+/// Convenience: groups as dictated by `config` for a cluster of `procs`.
+[[nodiscard]] std::vector<std::vector<int>> form_groups(int procs, const DlbConfig& config);
+
+}  // namespace dlb::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/ownership.hpp"
+#include "core/policy.hpp"
+#include "core/run_stats.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "sim/process.hpp"
+
+namespace dlb::core {
+
+/// Message tags of the DLB wire protocol (the paper's run-time library).
+inline constexpr int kTagInterrupt = 100;  // finisher -> active peers
+inline constexpr int kTagProfile = 101;    // slave -> balancer(s)
+inline constexpr int kTagOutcome = 102;    // central balancer -> group
+inline constexpr int kTagWork = 103;       // work shipment between slaves
+inline constexpr int kTagPhaseData = 104;  // sequential-phase gather
+inline constexpr int kTagPhaseScatter = 105;
+inline constexpr int kTagIntrinsic = 106;  // per-iteration algorithm traffic (IC)
+
+/// Interrupt: "I am out of work; synchronize" (§3.1).
+struct InterruptMsg {
+  int round = 0;
+  int group = 0;
+};
+
+/// Performance profile (§3.2): iterations/second since the last sync point
+/// plus the remaining iterations.
+struct ProfileMsg {
+  int round = 0;
+  int group = 0;
+  ProfileSnapshot snapshot;
+};
+
+/// The central balancer's verdict for a round, broadcast to the group.  In
+/// the distributed strategies every processor derives the same information
+/// locally, so no such message exists there.
+struct OutcomeMsg {
+  int round = 0;
+  int group = 0;
+  bool loop_done = false;
+  bool moved = false;
+  std::vector<Transfer> transfers;
+  std::vector<int> active_after;  // group members still active next round
+};
+
+/// A work shipment: the migrated iteration ranges.
+struct WorkMsg {
+  int round = 0;
+  std::vector<IterRange> ranges;
+};
+
+/// Shared state of one load-balanced loop execution.  Owned by the Runtime;
+/// every protocol process holds a reference.  Single-threaded simulation
+/// makes plain member access safe.
+struct LoopContext {
+  const LoopDescriptor* loop = nullptr;
+  DlbConfig config;
+  cluster::Cluster* cluster = nullptr;
+  /// K-block groups; global strategies use one group of P.
+  std::vector<std::vector<int>> groups;
+  std::vector<int> group_of;  // proc id -> group index
+  bool centralized = false;
+  int balancer_proc = 0;
+
+  // Per-processor runtime state.
+  std::vector<IterationSet> owned;
+  std::vector<std::int64_t> executed;
+  std::vector<sim::SimTime> finished_at;
+
+  LoopRunStats stats;
+  /// Optional activity recorder (owned by the Runtime).
+  Trace* trace = nullptr;
+
+  [[nodiscard]] int procs() const { return cluster->size(); }
+  /// Base rate in ops/sec (for rate priors).
+  [[nodiscard]] double base_rate() const { return cluster->params().base_ops_per_sec; }
+
+  /// Builds the context for one loop under `config` on `cluster`: equal
+  /// initial block partition, groups per strategy.
+  static LoopContext make(const LoopDescriptor& loop, const DlbConfig& config,
+                          cluster::Cluster& cluster);
+};
+
+/// A DLB slave (the paper's transformed loop of Fig. 3): executes owned
+/// iterations one at a time, polls for interrupts between iterations,
+/// initiates a synchronization when its work runs out, and takes part in
+/// profile exchange and work movement.  One per processor, for every
+/// strategy except NoDLB.
+[[nodiscard]] sim::Process dlb_slave(LoopContext& ctx, int self);
+
+/// The central load balancer (GCDLB / LCDLB): lives on `ctx.balancer_proc`,
+/// serves groups one at a time in profile-arrival order (the LCDLB delay
+/// factor emerges from this queueing), computes the new distribution, and
+/// broadcasts outcomes.  Exactly one per run for the centralized strategies.
+[[nodiscard]] sim::Process central_balancer(LoopContext& ctx);
+
+/// Static slave for the NoDLB baseline: executes its block, no communication.
+[[nodiscard]] sim::Process static_slave(LoopContext& ctx, int self);
+
+/// Sequential inter-loop phase (TRFD's transpose, §6.3): slaves gather their
+/// data to the master, the master computes, then scatters.
+[[nodiscard]] sim::Process phase_master(cluster::Cluster& cluster, const SequentialPhase& phase,
+                                        const std::vector<double>& gather_bytes_per_proc);
+[[nodiscard]] sim::Process phase_slave(cluster::Cluster& cluster, const SequentialPhase& phase,
+                                       int self, double gather_bytes);
+
+}  // namespace dlb::core

@@ -1,0 +1,131 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace dlb::core {
+
+namespace {
+
+const char* kind_name(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::kCompute:
+      return "compute";
+    case ActivityKind::kSync:
+      return "sync";
+    case ActivityKind::kMove:
+      return "move";
+  }
+  return "?";
+}
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_run_json(std::ostream& os, const RunResult& result) {
+  os << "{\n";
+  os << "  \"app\": \"" << json_escape(result.app_name) << "\",\n";
+  os << "  \"strategy\": \"" << json_escape(result.strategy_name) << "\",\n";
+  os << "  \"exec_seconds\": " << number(result.exec_seconds) << ",\n";
+  os << "  \"messages\": " << result.messages << ",\n";
+  os << "  \"bytes\": " << result.bytes << ",\n";
+  os << "  \"loops\": [\n";
+  for (std::size_t li = 0; li < result.loops.size(); ++li) {
+    const auto& loop = result.loops[li];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(loop.loop_name) << "\",\n";
+    os << "      \"start_seconds\": " << number(loop.start_seconds) << ",\n";
+    os << "      \"finish_seconds\": " << number(loop.finish_seconds) << ",\n";
+    os << "      \"syncs\": " << loop.syncs << ",\n";
+    os << "      \"redistributions\": " << loop.redistributions << ",\n";
+    os << "      \"iterations_moved\": " << loop.iterations_moved << ",\n";
+    os << "      \"executed_per_proc\": [";
+    for (std::size_t p = 0; p < loop.executed_per_proc.size(); ++p) {
+      if (p != 0) os << ", ";
+      os << loop.executed_per_proc[p];
+    }
+    os << "],\n";
+    os << "      \"finish_per_proc\": [";
+    for (std::size_t p = 0; p < loop.finish_per_proc.size(); ++p) {
+      if (p != 0) os << ", ";
+      os << number(loop.finish_per_proc[p]);
+    }
+    os << "],\n";
+    os << "      \"events\": [\n";
+    for (std::size_t e = 0; e < loop.events.size(); ++e) {
+      const auto& event = loop.events[e];
+      os << "        {\"at_seconds\": " << number(event.at_seconds)
+         << ", \"round\": " << event.round << ", \"group\": " << event.group
+         << ", \"initiator\": " << event.initiator
+         << ", \"total_remaining\": " << event.total_remaining
+         << ", \"iterations_moved\": " << event.iterations_moved
+         << ", \"transfer_messages\": " << event.transfer_messages
+         << ", \"redistributed\": " << (event.redistributed ? "true" : "false") << "}";
+      os << (e + 1 < loop.events.size() ? ",\n" : "\n");
+    }
+    os << "      ]\n";
+    os << "    }" << (li + 1 < result.loops.size() ? ",\n" : "\n");
+  }
+  os << "  ]";
+  if (result.trace && !result.trace->empty()) {
+    os << ",\n  \"trace\": [\n";
+    const auto& segments = result.trace->segments();
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const auto& segment = segments[s];
+      os << "    {\"proc\": " << segment.proc << ", \"kind\": \"" << kind_name(segment.kind)
+         << "\", \"begin\": " << number(sim::to_seconds(segment.begin))
+         << ", \"end\": " << number(sim::to_seconds(segment.end)) << "}";
+      os << (s + 1 < segments.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
+}
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "proc,kind,begin_seconds,end_seconds\n";
+  for (const auto& s : trace.segments()) {
+    os << s.proc << ',' << kind_name(s.kind) << ',' << number(sim::to_seconds(s.begin)) << ','
+       << number(sim::to_seconds(s.end)) << '\n';
+  }
+}
+
+}  // namespace dlb::core

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/run_stats.hpp"
+#include "core/trace.hpp"
+
+namespace dlb::core {
+
+/// Serializes a RunResult as JSON (hand-rolled, dependency-free): run
+/// metadata, per-loop statistics, the synchronization event log, and — when
+/// recorded — the activity trace.  Intended for archiving benchmark
+/// campaigns and feeding external plotting.
+void write_run_json(std::ostream& os, const RunResult& result);
+
+/// Serializes a trace as CSV: proc,kind,begin_seconds,end_seconds.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+
+/// JSON string escaping (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace dlb::core

@@ -1,0 +1,23 @@
+#include "core/run_stats.hpp"
+
+namespace dlb::core {
+
+int RunResult::total_syncs() const {
+  int total = 0;
+  for (const auto& l : loops) total += l.syncs;
+  return total;
+}
+
+int RunResult::total_redistributions() const {
+  int total = 0;
+  for (const auto& l : loops) total += l.redistributions;
+  return total;
+}
+
+std::int64_t RunResult::total_iterations_moved() const {
+  std::int64_t total = 0;
+  for (const auto& l : loops) total += l.iterations_moved;
+  return total;
+}
+
+}  // namespace dlb::core

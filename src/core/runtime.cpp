@@ -1,0 +1,121 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/protocol.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::core {
+
+Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
+    : cluster_(cluster), app_(std::move(app)), config_(config) {
+  app_.validate();
+  config_.validate(cluster_.size());
+  if (config_.strategy == Strategy::kAuto) {
+    throw std::invalid_argument(
+        "Runtime: Strategy::kAuto is resolved by decision::Selector before running");
+  }
+  if (config_.record_trace) trace_ = std::make_shared<Trace>();
+}
+
+LoopRunStats Runtime::execute_loop(const LoopDescriptor& loop) {
+  LoopContext ctx = LoopContext::make(loop, config_, cluster_);
+  ctx.trace = trace_.get();
+  auto& engine = cluster_.engine();
+
+  if (config_.strategy == Strategy::kNoDlb) {
+    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(static_slave(ctx, p));
+  } else {
+    if (ctx.centralized) engine.spawn(central_balancer(ctx));
+    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(dlb_slave(ctx, p));
+  }
+  engine.run();
+
+  LoopRunStats stats = std::move(ctx.stats);
+  stats.finish_seconds = sim::to_seconds(engine.now());
+  stats.executed_per_proc = ctx.executed;
+  stats.finish_per_proc.reserve(ctx.finished_at.size());
+  for (const auto t : ctx.finished_at) stats.finish_per_proc.push_back(sim::to_seconds(t));
+  stats.syncs = static_cast<int>(stats.events.size());
+  for (const auto& e : stats.events) {
+    if (e.redistributed) ++stats.redistributions;
+    stats.iterations_moved += e.iterations_moved;
+  }
+
+  // Work conservation: every iteration executed exactly once.
+  std::int64_t executed_total = 0;
+  for (const auto n : stats.executed_per_proc) executed_total += n;
+  if (executed_total != loop.iterations) {
+    throw std::logic_error("Runtime: iterations executed != iterations scheduled");
+  }
+  return stats;
+}
+
+void Runtime::execute_phase(const SequentialPhase& phase, const LoopRunStats& previous) {
+  auto& engine = cluster_.engine();
+  std::vector<double> gather_bytes(static_cast<std::size_t>(cluster_.size()), 0.0);
+  for (std::size_t p = 0; p < gather_bytes.size(); ++p) {
+    gather_bytes[p] = static_cast<double>(previous.executed_per_proc[p]) *
+                      phase.gather_bytes_per_iteration;
+  }
+  engine.spawn(phase_master(cluster_, phase, gather_bytes));
+  for (int p = 1; p < cluster_.size(); ++p) {
+    engine.spawn(phase_slave(cluster_, phase, p, gather_bytes[static_cast<std::size_t>(p)]));
+  }
+  engine.run();
+}
+
+RunResult Runtime::run() {
+  if (consumed_) throw std::logic_error("Runtime: run() may be called once");
+  consumed_ = true;
+
+  RunResult result;
+  result.app_name = app_.name;
+  result.strategy_name = strategy_name(config_.strategy);
+  for (std::size_t i = 0; i < app_.loops.size(); ++i) {
+    result.loops.push_back(execute_loop(app_.loops[i]));
+    if (!app_.phases.empty() && i + 1 < app_.loops.size()) {
+      execute_phase(app_.phases[i], result.loops.back());
+    }
+  }
+  result.exec_seconds = sim::to_seconds(cluster_.engine().now());
+  result.messages = cluster_.network().messages_sent();
+  result.bytes = cluster_.network().bytes_sent();
+  result.trace = trace_;
+  return result;
+}
+
+RunResult Runtime::run_single_loop(std::size_t loop_index) {
+  if (consumed_) throw std::logic_error("Runtime: run() may be called once");
+  consumed_ = true;
+  if (loop_index >= app_.loops.size()) {
+    throw std::out_of_range("Runtime: loop index out of range");
+  }
+
+  RunResult result;
+  result.app_name = app_.name + "/" + app_.loops[loop_index].name;
+  result.strategy_name = strategy_name(config_.strategy);
+  result.loops.push_back(execute_loop(app_.loops[loop_index]));
+  result.exec_seconds = sim::to_seconds(cluster_.engine().now());
+  result.messages = cluster_.network().messages_sent();
+  result.bytes = cluster_.network().bytes_sent();
+  result.trace = trace_;
+  return result;
+}
+
+RunResult run_app(const cluster::ClusterParams& params, const AppDescriptor& app,
+                  const DlbConfig& config) {
+  cluster::Cluster cluster(params);
+  Runtime runtime(cluster, app, config);
+  return runtime.run();
+}
+
+RunResult run_app_loop(const cluster::ClusterParams& params, const AppDescriptor& app,
+                       const DlbConfig& config, std::size_t loop_index) {
+  cluster::Cluster cluster(params);
+  Runtime runtime(cluster, app, config);
+  return runtime.run_single_loop(loop_index);
+}
+
+}  // namespace dlb::core

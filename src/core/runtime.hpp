@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "core/run_stats.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace dlb::core {
+
+/// The DLB run-time system (§5.1): executes an annotated application on a
+/// cluster under one strategy — equal initial partition, per-loop dynamic
+/// load balancing, sequential inter-loop phases — and collects the DLB
+/// statistics the paper's master gathers (synchronizations, redistributions,
+/// work moved).
+///
+/// A Runtime consumes a *fresh* cluster (virtual time 0); run() may be
+/// called once.  To compare strategies, build one cluster per run with the
+/// same seed: the external-load realizations are identical, which is how the
+/// paper compares schemes under the same load.
+class Runtime {
+ public:
+  Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config);
+
+  /// Executes the whole application and returns its statistics.
+  [[nodiscard]] RunResult run();
+
+  /// Executes a single loop of the application (the paper's Table 2 ranks
+  /// TRFD's two loops independently).
+  [[nodiscard]] RunResult run_single_loop(std::size_t loop_index);
+
+ private:
+  [[nodiscard]] LoopRunStats execute_loop(const LoopDescriptor& loop);
+  void execute_phase(const SequentialPhase& phase, const LoopRunStats& previous);
+
+  cluster::Cluster& cluster_;
+  AppDescriptor app_;
+  DlbConfig config_;
+  std::shared_ptr<Trace> trace_;
+  bool consumed_ = false;
+};
+
+/// Convenience: builds a cluster from `params`, runs `app` under `config`,
+/// returns the result.  One-shot equivalent of the Runtime flow.
+[[nodiscard]] RunResult run_app(const cluster::ClusterParams& params, const AppDescriptor& app,
+                                const DlbConfig& config);
+
+/// Convenience for the per-loop rankings: run only loop `loop_index`.
+[[nodiscard]] RunResult run_app_loop(const cluster::ClusterParams& params,
+                                     const AppDescriptor& app, const DlbConfig& config,
+                                     std::size_t loop_index);
+
+}  // namespace dlb::core

@@ -1,0 +1,84 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace dlb::core {
+
+char activity_glyph(ActivityKind k) noexcept {
+  switch (k) {
+    case ActivityKind::kCompute:
+      return '#';
+    case ActivityKind::kSync:
+      return 's';
+    case ActivityKind::kMove:
+      return 'm';
+  }
+  return '?';
+}
+
+void Trace::record(int proc, ActivityKind kind, sim::SimTime begin, sim::SimTime end) {
+  if (proc < 0) throw std::invalid_argument("Trace: negative proc");
+  if (end < begin) throw std::invalid_argument("Trace: reversed segment");
+  if (end == begin) return;
+  segments_.push_back({proc, kind, begin, end});
+  span_end_ = std::max(span_end_, end);
+}
+
+std::vector<double> Trace::busy_seconds(int procs) const {
+  std::vector<double> out(static_cast<std::size_t>(procs), 0.0);
+  for (const auto& s : segments_) {
+    if (s.proc < procs) out[static_cast<std::size_t>(s.proc)] += sim::to_seconds(s.end - s.begin);
+  }
+  return out;
+}
+
+std::vector<double> Trace::compute_seconds(int procs) const {
+  std::vector<double> out(static_cast<std::size_t>(procs), 0.0);
+  for (const auto& s : segments_) {
+    if (s.kind == ActivityKind::kCompute && s.proc < procs) {
+      out[static_cast<std::size_t>(s.proc)] += sim::to_seconds(s.end - s.begin);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Trace::utilization(int procs) const {
+  auto compute = compute_seconds(procs);
+  const double span = sim::to_seconds(span_end_);
+  if (span <= 0.0) return std::vector<double>(static_cast<std::size_t>(procs), 0.0);
+  for (auto& u : compute) u /= span;
+  return compute;
+}
+
+void Trace::render_gantt(std::ostream& os, int procs, int width) const {
+  if (width < 1) throw std::invalid_argument("Trace: width < 1");
+  if (span_end_ <= 0) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const auto rank = [](char g) { return g == 'm' ? 3 : g == 's' ? 2 : g == '#' ? 1 : 0; };
+  for (int p = 0; p < procs; ++p) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& s : segments_) {
+      if (s.proc != p) continue;
+      const auto glyph = activity_glyph(s.kind);
+      auto col0 = static_cast<std::int64_t>(s.begin * width / span_end_);
+      auto col1 = static_cast<std::int64_t>((s.end - 1) * width / span_end_);
+      col0 = std::clamp<std::int64_t>(col0, 0, width - 1);
+      col1 = std::clamp<std::int64_t>(col1, col0, width - 1);
+      for (std::int64_t c = col0; c <= col1; ++c) {
+        if (rank(glyph) > rank(row[static_cast<std::size_t>(c)])) {
+          row[static_cast<std::size_t>(c)] = glyph;
+        }
+      }
+    }
+    os << 'P' << p << (p < 10 ? " " : "") << " |" << row << "|\n";
+  }
+  os << "     0" << std::string(static_cast<std::size_t>(width) - 4, ' ')
+     << sim::to_seconds(span_end_) << "s\n";
+  os << "     ('#' compute, 's' synchronize, 'm' move work, '.' idle)\n";
+}
+
+}  // namespace dlb::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/run_stats.hpp"
+#include "core/types.hpp"
+#include "model/predictor.hpp"
+#include "net/characterize.hpp"
+
+namespace dlb::decision {
+
+/// Outcome of the hybrid compile-/run-time decision process (§4.3).
+struct Selection {
+  core::Strategy chosen = core::Strategy::kGDDLB;
+  std::vector<model::StrategyPrediction> predictions;  // the four ranked strategies
+  std::vector<int> predicted_order;                    // ranked ids, best first
+};
+
+/// The paper's customization step: the compiler collects the program
+/// parameters (the AppDescriptor), the network is characterized off-line
+/// (CollectiveCosts), and at run time — once the load function is observable
+/// — the model is evaluated for every strategy and the best one is committed.
+///
+/// In this reproduction the external load is a deterministic seeded process,
+/// so "observe the load up to the first synchronization point" and "query the
+/// load realization" coincide; the selector feeds the realization straight
+/// into the Predictor, which replays the first window exactly the way the
+/// run-time system will experience it.
+class Selector {
+ public:
+  Selector(cluster::ClusterParams cluster, net::CollectiveCosts costs, core::DlbConfig config);
+
+  /// Chooses the best strategy for one loop.
+  [[nodiscard]] Selection select(const core::LoopDescriptor& loop) const;
+
+  /// Chooses for a whole application: each loop is modeled under each
+  /// strategy and the per-loop makespans are summed (loops are balanced
+  /// independently, §6.3, but one strategy is linked into the binary).
+  [[nodiscard]] Selection select(const core::AppDescriptor& app) const;
+
+ private:
+  cluster::ClusterParams cluster_;
+  net::CollectiveCosts costs_;
+  core::DlbConfig config_;
+};
+
+/// End-to-end convenience implementing Strategy::kAuto: select, then run the
+/// application under the chosen strategy.  Returns the run result (whose
+/// strategy_name records what was chosen) and the selection rationale.
+struct AutoRun {
+  Selection selection;
+  core::RunResult result;
+};
+[[nodiscard]] AutoRun run_auto(const cluster::ClusterParams& params,
+                               const core::AppDescriptor& app, const core::DlbConfig& config,
+                               const net::CollectiveCosts& costs);
+
+}  // namespace dlb::decision

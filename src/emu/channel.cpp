@@ -1,0 +1,42 @@
+#include "emu/channel.hpp"
+
+namespace dlb::emu {
+
+void Channel::deliver(EmuMessage message) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  ready_.notify_all();
+}
+
+std::optional<EmuMessage> Channel::take_locked(int tag, int source) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, tag, source)) {
+      EmuMessage m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+EmuMessage Channel::receive(int tag, int source) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (auto m = take_locked(tag, source)) return std::move(*m);
+    ready_.wait(lock);
+  }
+}
+
+std::optional<EmuMessage> Channel::try_receive(int tag, int source) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return take_locked(tag, source);
+}
+
+std::size_t Channel::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dlb::emu

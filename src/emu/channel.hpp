@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/ownership.hpp"
+#include "core/policy.hpp"
+
+namespace dlb::emu {
+
+/// Message of the live (thread-based) emulation: one struct covers all
+/// protocol kinds; unused fields stay empty.
+struct EmuMessage {
+  int source = -1;
+  int tag = 0;
+  int round = 0;
+  core::ProfileSnapshot snapshot;
+  std::vector<core::IterRange> ranges;
+};
+
+inline constexpr int kEmuAnyTag = -1;
+inline constexpr int kEmuAnySource = -1;
+
+/// Thread-safe tagged mailbox: the live analogue of sim::Mailbox.  FIFO
+/// within matches; receive blocks on a condition variable.
+class Channel {
+ public:
+  void deliver(EmuMessage message);
+
+  /// Blocking receive of the oldest message matching tag/source.
+  [[nodiscard]] EmuMessage receive(int tag = kEmuAnyTag, int source = kEmuAnySource);
+
+  /// Non-blocking probe-and-take.
+  [[nodiscard]] std::optional<EmuMessage> try_receive(int tag = kEmuAnyTag,
+                                                      int source = kEmuAnySource);
+
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  static bool matches(const EmuMessage& m, int tag, int source) noexcept {
+    return (tag == kEmuAnyTag || m.tag == tag) &&
+           (source == kEmuAnySource || m.source == source);
+  }
+  std::optional<EmuMessage> take_locked(int tag, int source);
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<EmuMessage> queue_;
+};
+
+}  // namespace dlb::emu

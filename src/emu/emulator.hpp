@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_stats.hpp"
+#include "core/types.hpp"
+
+namespace dlb::emu {
+
+/// Live emulation of a loaded NOW on the host machine: each "workstation" is
+/// an OS thread, messages travel through in-memory channels, computation is
+/// real spin work, and the multi-user external load is emulated by scaling
+/// each worker's spin amount by a per-worker slowdown factor.  The *same*
+/// policy code (core::decide, IterationSet, transfer plans) drives the
+/// balancing as in the simulator — this backend demonstrates the run-time
+/// library operating outside virtual time.
+///
+/// Supported strategies: kNoDlb and the two distributed schemes (kGDDLB,
+/// kLDDLB).  The centralized schemes need the master's CPU-sharing semantics
+/// that only the simulator models faithfully.
+struct EmuParams {
+  int workers = 4;
+  /// Spin work per basic operation (calibrates absolute wall time; relative
+  /// comparisons do not depend on it).
+  int spin_per_op = 1;
+  /// Per-worker slowdown factors (the emulated external load); empty means
+  /// all 1.0.  A factor f makes the worker execute f times the spin work per
+  /// iteration, exactly like the simulator's (l + 1) effective-speed model
+  /// with a persistent load.
+  std::vector<double> slowdowns;
+};
+
+struct EmuResult {
+  double wall_seconds = 0.0;
+  std::vector<std::int64_t> executed_per_worker;
+  int syncs = 0;
+  int redistributions = 0;
+  std::int64_t iterations_moved = 0;
+};
+
+/// Runs a single-loop application live.  Throws std::invalid_argument for
+/// unsupported strategies or multi-loop applications.
+[[nodiscard]] EmuResult run_emulated(const EmuParams& params, const core::AppDescriptor& app,
+                                     const core::DlbConfig& config);
+
+}  // namespace dlb::emu

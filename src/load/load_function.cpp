@@ -1,0 +1,77 @@
+#include "load/load_function.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb::load {
+
+LoadFunction::LoadFunction(LoadParams params, support::Rng rng)
+    : params_(params), rng_(rng) {
+  if (params_.max_load < 0) throw std::invalid_argument("LoadFunction: negative max_load");
+  if (params_.persistence <= 0) throw std::invalid_argument("LoadFunction: persistence must be > 0");
+}
+
+LoadFunction::LoadFunction(LoadParams params, std::vector<int> scripted_levels)
+    : params_(params), rng_(0), levels_(std::move(scripted_levels)), scripted_(true) {
+  if (params_.persistence <= 0) throw std::invalid_argument("LoadFunction: persistence must be > 0");
+  if (levels_.empty()) throw std::invalid_argument("LoadFunction: empty script");
+  for (const int level : levels_) {
+    if (level < 0) throw std::invalid_argument("LoadFunction: negative scripted level");
+  }
+}
+
+void LoadFunction::ensure_generated(std::int64_t block) {
+  while (static_cast<std::int64_t>(levels_.size()) <= block) {
+    levels_.push_back(scripted_ ? levels_.back()
+                                : static_cast<int>(rng_.uniform_int(0, params_.max_load)));
+  }
+}
+
+int LoadFunction::level_of_block(std::int64_t k) {
+  if (k < 0) throw std::invalid_argument("LoadFunction: negative block index");
+  ensure_generated(k);
+  return levels_[static_cast<std::size_t>(k)];
+}
+
+int LoadFunction::level_at(sim::SimTime t) {
+  if (t < 0) throw std::invalid_argument("LoadFunction: negative time");
+  return level_of_block(t / params_.persistence);
+}
+
+LoadFunction::Segment LoadFunction::segment_at(sim::SimTime t) {
+  const std::int64_t k = t / params_.persistence;
+  return Segment{level_of_block(k), k * params_.persistence, (k + 1) * params_.persistence};
+}
+
+double LoadFunction::effective_load(sim::SimTime t0, sim::SimTime t1) {
+  if (t1 < t0) throw std::invalid_argument("LoadFunction: reversed window");
+  if (t1 == t0) return slowdown_at(t0);
+  const std::int64_t first = t0 / params_.persistence;
+  const std::int64_t last = (t1 - 1) / params_.persistence;  // block containing t1's last ns
+  double integral = 0.0;  // of 1/(l+1) dt, in seconds
+  for (std::int64_t k = first; k <= last; ++k) {
+    const sim::SimTime begin = std::max(t0, k * params_.persistence);
+    const sim::SimTime end = std::min(t1, (k + 1) * params_.persistence);
+    integral += sim::to_seconds(end - begin) / (1.0 + level_of_block(k));
+  }
+  return sim::to_seconds(t1 - t0) / integral;
+}
+
+double LoadFunction::effective_load_blocks(sim::SimTime t0, sim::SimTime t1) {
+  if (t1 < t0) throw std::invalid_argument("LoadFunction: reversed window");
+  // a = ceil(t0 / t_l), b = ceil(t1 / t_l), per the paper's §4.2.
+  const auto ceil_div = [](sim::SimTime num, sim::SimTime den) {
+    return (num + den - 1) / den;
+  };
+  const std::int64_t a = ceil_div(t0, params_.persistence);
+  const std::int64_t b = std::max(ceil_div(t1, params_.persistence), a);
+  double inv_sum = 0.0;
+  for (std::int64_t k = a; k <= b; ++k) inv_sum += 1.0 / (1.0 + level_of_block(k));
+  return static_cast<double>(b - a + 1) / inv_sum;
+}
+
+LoadFunction constant_load(int level, sim::SimTime persistence) {
+  return LoadFunction(LoadParams{level, persistence}, std::vector<int>{level});
+}
+
+}  // namespace dlb::load

@@ -1,0 +1,378 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/groups.hpp"
+#include "core/ownership.hpp"
+#include "core/policy.hpp"
+#include "load/load_function.hpp"
+#include "sim/time.hpp"
+#include "support/ranking.hpp"
+#include "support/rng.hpp"
+
+namespace dlb::model {
+
+namespace {
+
+/// Builds the same per-processor load realizations the cluster will see
+/// (identical seed forking as cluster::Cluster).
+std::vector<load::LoadFunction> build_loads(const cluster::ClusterParams& params) {
+  const support::Rng root(params.seed);
+  std::vector<load::LoadFunction> loads;
+  loads.reserve(static_cast<std::size_t>(params.procs));
+  for (int i = 0; i < params.procs; ++i) {
+    if (params.external_load) {
+      loads.emplace_back(params.load, root.fork(static_cast<std::uint64_t>(i)));
+    } else {
+      loads.push_back(load::constant_load(0, params.load.persistence));
+    }
+  }
+  return loads;
+}
+
+double speed_of(const cluster::ClusterParams& params, int i) {
+  return params.speeds.empty() ? 1.0 : params.speeds[static_cast<std::size_t>(i)];
+}
+
+/// Virtual time at which `ops` operations complete when started at `t0` on a
+/// processor of bare speed `speed` under load function `lf`.
+sim::SimTime advance_ops(load::LoadFunction& lf, double speed, double base_rate,
+                         sim::SimTime t0, double ops) {
+  sim::SimTime t = t0;
+  double remaining = ops;
+  while (remaining > 0.0) {
+    const auto segment = lf.segment_at(t);
+    const double rate = base_rate * speed / (1.0 + segment.level);
+    const sim::SimTime finish = t + sim::from_seconds(remaining / rate);
+    if (finish <= segment.end) return finish;
+    remaining -= rate * sim::to_seconds(segment.end - t);
+    t = segment.end;
+  }
+  return t;
+}
+
+/// Operations a processor can execute in [t0, t1].
+double ops_available(load::LoadFunction& lf, double speed, double base_rate, sim::SimTime t0,
+                     sim::SimTime t1) {
+  double ops = 0.0;
+  sim::SimTime t = t0;
+  while (t < t1) {
+    const auto segment = lf.segment_at(t);
+    const sim::SimTime end = std::min(segment.end, t1);
+    ops += base_rate * speed / (1.0 + segment.level) * sim::to_seconds(end - t);
+    t = end;
+  }
+  return ops;
+}
+
+/// Recurrence state of one processor within its group.  `resume_at` is the
+/// time it goes back to computing after the previous synchronization —
+/// receivers of migrated work resume later than the rest of the group, as
+/// their shipment must finish transmitting first.
+struct Member {
+  int proc = 0;
+  core::IterationSet owned;
+  bool active = true;
+  double last_rate = 0.0;
+  sim::SimTime resume_at = 0;
+};
+
+/// Recurrence state of one group (global strategies: a single group of P).
+struct Group {
+  std::vector<Member> members;
+  bool done = false;
+  sim::SimTime finish = 0;
+  int syncs = 0;
+  int redistributions = 0;
+  std::int64_t moved = 0;
+  double overhead_seconds = 0.0;
+};
+
+int active_count(const Group& g) {
+  int n = 0;
+  for (const auto& m : g.members) {
+    if (m.active) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Predictor::Predictor(PredictorInputs inputs) : inputs_(std::move(inputs)) {
+  if (inputs_.loop == nullptr) throw std::invalid_argument("Predictor: null loop");
+  inputs_.loop->validate();
+  inputs_.config.validate(inputs_.cluster.procs);
+}
+
+StrategyPrediction Predictor::predict(core::Strategy strategy) const {
+  // The paper folds intrinsic communication into the per-iteration time
+  // T(W, IC) (§4.1); we add the op-equivalent of one IC message exchange to
+  // every iteration's work.
+  core::LoopDescriptor effective_loop = *inputs_.loop;
+  if (effective_loop.intrinsic_bytes_per_iteration > 0.0 &&
+      inputs_.cluster.procs > 1) {
+    const double ic_seconds =
+        inputs_.costs.latency_seconds +
+        effective_loop.intrinsic_bytes_per_iteration / inputs_.costs.bandwidth_bytes;
+    const double ic_ops = ic_seconds * inputs_.cluster.base_ops_per_sec;
+    const auto base_work = effective_loop.work_ops;
+    effective_loop.work_ops = [base_work, ic_ops](std::int64_t j) {
+      return base_work(j) + ic_ops;
+    };
+  }
+  const auto& loop = effective_loop;
+  const auto& cp = inputs_.cluster;
+  const int procs = cp.procs;
+  const double base_rate = cp.base_ops_per_sec;
+  auto loads = build_loads(cp);
+
+  StrategyPrediction out;
+  out.strategy = strategy;
+
+  if (strategy == core::Strategy::kAuto) {
+    throw std::invalid_argument("Predictor: kAuto is what the prediction chooses, not an input");
+  }
+  if (strategy == core::Strategy::kNoDlb) {
+    sim::SimTime makespan = 0;
+    for (int i = 0; i < procs; ++i) {
+      auto set = core::IterationSet::block_partition(loop.iterations, procs, i);
+      const sim::SimTime fin = advance_ops(loads[static_cast<std::size_t>(i)], speed_of(cp, i),
+                                           base_rate, 0, set.ops(loop));
+      makespan = std::max(makespan, fin);
+    }
+    out.makespan_seconds = sim::to_seconds(makespan);
+    return out;
+  }
+
+  core::DlbConfig config = inputs_.config;
+  config.strategy = strategy;
+  const bool centralized =
+      strategy == core::Strategy::kGCDLB || strategy == core::Strategy::kLCDLB;
+  const auto group_ids = form_groups(procs, config);
+
+  // eta: distribution-calculation cost in dedicated-CPU seconds (plus the
+  // master-side overhead for the centralized schemes).  The calculation runs
+  // on a loaded workstation, so each use below is scaled by the computing
+  // processor's slowdown at the synchronization time.
+  const double eta_base =
+      (config.decision_ops + (centralized ? config.balancer_overhead_ops : 0.0)) / base_rate;
+  const double latency = inputs_.costs.latency_seconds;
+  const double bandwidth = inputs_.costs.bandwidth_bytes;
+
+  std::vector<Group> groups;
+  for (const auto& ids : group_ids) {
+    Group g;
+    for (const int p : ids) {
+      Member m;
+      m.proc = p;
+      m.owned = core::IterationSet::block_partition(loop.iterations, procs, p);
+      g.members.push_back(std::move(m));
+    }
+    groups.push_back(std::move(g));
+  }
+
+  // The single central balancer's busy horizon (LCDLB delay factor g(j)).
+  sim::SimTime balancer_busy_until = 0;
+
+  auto next_sync_time = [&](Group& g) {
+    sim::SimTime t_sync = sim::kTimeInfinity;
+    for (auto& m : g.members) {
+      if (!m.active) continue;
+      auto& lf = loads[static_cast<std::size_t>(m.proc)];
+      const sim::SimTime fin =
+          advance_ops(lf, speed_of(cp, m.proc), base_rate, m.resume_at, m.owned.ops(loop));
+      t_sync = std::min(t_sync, fin);
+    }
+    return t_sync;
+  };
+
+  while (true) {
+    // Pick the unfinished group with the earliest next synchronization; for
+    // LCDLB this establishes the arrival order at the central balancer.
+    Group* group = nullptr;
+    sim::SimTime t_sync = sim::kTimeInfinity;
+    for (auto& g : groups) {
+      if (g.done) continue;
+      const sim::SimTime t = next_sync_time(g);
+      if (t < t_sync) {
+        t_sync = t;
+        group = &g;
+      }
+    }
+    if (group == nullptr) break;
+    Group& g = *group;
+
+    // Execute each member's window [resume_at, t_sync): as many whole
+    // iterations as its load-modulated capacity allows (Eqs. 1-2), plus the
+    // in-flight iteration (the interrupt is polled between iterations, so
+    // the current one completes before the profile goes out — exactly the
+    // Fig. 3 slave).  Members whose exact finish time is t_sync (the
+    // finishers) are drained outright — capacity re-integration must not
+    // strand their last iteration on float rounding.
+    std::vector<core::ProfileSnapshot> profiles;
+    for (auto& m : g.members) {
+      if (!m.active) continue;
+      auto& lf = loads[static_cast<std::size_t>(m.proc)];
+      const double window = std::max(sim::to_seconds(t_sync - m.resume_at), 0.0);
+      std::int64_t done = 0;
+      if (m.resume_at < t_sync) {
+        const sim::SimTime own_finish =
+            advance_ops(lf, speed_of(cp, m.proc), base_rate, m.resume_at, m.owned.ops(loop));
+        if (own_finish <= t_sync) {
+          done = m.owned.size();
+          m.owned = core::IterationSet();
+        } else {
+          double capacity =
+              ops_available(lf, speed_of(cp, m.proc), base_rate, m.resume_at, t_sync) *
+              (1.0 + 1e-9);
+          while (!m.owned.empty() && loop.ops_of(m.owned.front()) <= capacity) {
+            capacity -= loop.ops_of(m.owned.front());
+            (void)m.owned.pop_front();
+            ++done;
+          }
+          if (!m.owned.empty()) {
+            (void)m.owned.pop_front();
+            ++done;
+          }
+        }
+      }
+      double rate;
+      if (done > 0 && window > 0.0) {
+        rate = static_cast<double>(done) / window;
+      } else if (m.last_rate > 0.0) {
+        rate = m.last_rate;
+      } else {
+        rate = speed_of(cp, m.proc) * base_rate / std::max(loop.mean_ops(), 1.0);
+      }
+      m.last_rate = rate;
+      profiles.push_back({m.proc, m.owned.size(), rate, true});
+    }
+    ++g.syncs;
+
+    const int k = active_count(g);
+    // Centralized sync: interrupt (one-to-all) + profiles (all-to-one) +
+    // the outcome broadcast (one-to-all).  The paper's sigma omits the last
+    // term and charges only iota = nu L for instructions, but the run-time
+    // library must inform every waiting slave of the verdict (even a
+    // no-move), so the broadcast is real cost.
+    const double sigma = centralized
+                             ? inputs_.costs.sync_centralized(k) +
+                                   inputs_.costs.eval(net::Pattern::kOneToAll, k)
+                             : inputs_.costs.sync_distributed(k);
+    const auto decision = core::decide(profiles, config);
+
+    // The distribution calculation runs under external load: on the master
+    // for the centralized schemes (which also pay the collocated-slave
+    // context-switch overhead folded into eta_base), replicated on every
+    // member for the distributed ones (scaled by the group's mean slowdown).
+    double eta = eta_base;
+    if (centralized) {
+      eta *= loads[0].slowdown_at(t_sync);
+    } else {
+      double slowdown_sum = 0.0;
+      int counted = 0;
+      for (const auto& m : g.members) {
+        if (!m.active) continue;
+        slowdown_sum += loads[static_cast<std::size_t>(m.proc)].slowdown_at(t_sync);
+        ++counted;
+      }
+      eta *= counted > 0 ? slowdown_sum / counted : 1.0;
+    }
+
+    // LCDLB delay factor: wait for the central balancer to finish serving
+    // earlier groups.
+    double delay = 0.0;
+    if (centralized && groups.size() > 1) {
+      if (balancer_busy_until > t_sync) delay = sim::to_seconds(balancer_busy_until - t_sync);
+    }
+
+    double iota = 0.0;          // instruction cost (centralized only)
+    double delta_serial = 0.0;  // Eq. 5's serialized movement cost (reporting)
+    if (decision.moved) {
+      const double nu = static_cast<double>(decision.transfers.size());
+      delta_serial = nu * latency + static_cast<double>(decision.to_move) *
+                                        loop.bytes_per_iteration / bandwidth;
+      if (centralized) iota = nu * latency;
+      ++g.redistributions;
+      g.moved += decision.to_move;
+    }
+    if (centralized) {
+      balancer_busy_until = t_sync + sim::from_seconds(delay + eta + iota);
+    }
+
+    if (decision.total_remaining == 0) {
+      g.done = true;
+      // The terminal sync still costs a synchronization round.
+      g.finish = t_sync + sim::from_seconds(delay + sigma + eta);
+      g.overhead_seconds += delay + sigma + eta;
+      continue;
+    }
+
+    const double base_overhead = delay + sigma + eta + iota;
+    g.overhead_seconds += base_overhead + delta_serial;
+    const sim::SimTime base_resume = t_sync + sim::from_seconds(base_overhead);
+    for (auto& m : g.members) {
+      if (m.active) m.resume_at = base_resume;
+    }
+
+    // Apply the transfer plan.  The shared medium serializes the shipments;
+    // only each *receiver* waits for its own transfer to finish — senders
+    // and bystanders resume right after the synchronization (this is what
+    // the protocol actually does, and charging the full delta to everyone
+    // systematically over-penalizes the big global moves).
+    if (decision.moved) {
+      double cumulative_seconds = 0.0;
+      for (const auto& t : decision.transfers) {
+        auto from = std::find_if(g.members.begin(), g.members.end(),
+                                 [&](const Member& m) { return m.proc == t.from; });
+        auto to = std::find_if(g.members.begin(), g.members.end(),
+                               [&](const Member& m) { return m.proc == t.to; });
+        for (const auto& range : from->owned.take_back(t.count)) to->owned.add(range);
+        cumulative_seconds +=
+            latency + static_cast<double>(t.count) * loop.bytes_per_iteration / bandwidth;
+        to->resume_at = base_resume + sim::from_seconds(cumulative_seconds);
+      }
+    }
+    for (const int p : decision.newly_inactive) {
+      for (auto& m : g.members) {
+        if (m.proc == p) m.active = false;
+      }
+    }
+    if (active_count(g) == 0) {
+      g.done = true;
+      g.finish = base_resume;
+    }
+  }
+
+  sim::SimTime makespan = 0;
+  for (const auto& g : groups) {
+    makespan = std::max(makespan, g.finish);
+    out.syncs += g.syncs;
+    out.redistributions += g.redistributions;
+    out.iterations_moved += g.moved;
+    out.overhead_seconds += g.overhead_seconds;
+  }
+  out.makespan_seconds = sim::to_seconds(makespan);
+  return out;
+}
+
+std::vector<StrategyPrediction> Predictor::predict_ranked() const {
+  std::vector<StrategyPrediction> out;
+  for (int id = 0; id < core::kRankedStrategyCount; ++id) {
+    out.push_back(predict(core::ranked_strategy(id)));
+  }
+  return out;
+}
+
+std::vector<int> Predictor::predicted_order() const {
+  const auto predictions = predict_ranked();
+  std::vector<double> costs;
+  costs.reserve(predictions.size());
+  for (const auto& p : predictions) costs.push_back(p.makespan_seconds);
+  return support::rank_by_cost(costs);
+}
+
+}  // namespace dlb::model

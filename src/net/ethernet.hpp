@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/params.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::net {
+
+/// The shared 10base-T segment: a FIFO, capacity-1 transmission medium.
+/// Reservation is analytic (no coroutine round trip): a transmit handed over
+/// at `ready_at` starts when the medium frees up and holds it for its
+/// occupancy.  Contention between concurrent broadcasts is what makes the
+/// all-to-all pattern quadratic — the effect the paper's global/local
+/// trade-off rests on.
+class Ethernet {
+ public:
+  explicit Ethernet(EthernetParams params) noexcept : params_(params) {}
+
+  /// Reserves the medium for one message; returns its delivery time
+  /// (transmission end + propagation).
+  sim::SimTime transmit(std::size_t bytes, sim::SimTime ready_at) noexcept;
+
+  [[nodiscard]] const EthernetParams& params() const noexcept { return params_; }
+  [[nodiscard]] sim::SimTime busy_until() const noexcept { return free_at_; }
+  [[nodiscard]] std::uint64_t messages_carried() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const noexcept { return bytes_; }
+  [[nodiscard]] sim::SimTime total_busy_time() const noexcept { return busy_time_; }
+
+ private:
+  EthernetParams params_;
+  sim::SimTime free_at_ = 0;
+  sim::SimTime busy_time_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dlb::net

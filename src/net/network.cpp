@@ -1,0 +1,96 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace dlb::net {
+
+void Network::set_segments(int segments, std::vector<int> segment_of,
+                           sim::SimTime bridge_latency) {
+  if (segments < 1) throw std::invalid_argument("Network: segments < 1");
+  if (messages_sent_ != 0) {
+    throw std::logic_error("Network: set_segments after traffic started");
+  }
+  for (const int s : segment_of) {
+    if (s < 0 || s >= segments) throw std::invalid_argument("Network: bad segment index");
+  }
+  segments_.clear();
+  for (int s = 0; s < segments; ++s) segments_.emplace_back(params_);
+  segment_of_ = std::move(segment_of);
+  bridge_latency_ = bridge_latency;
+}
+
+int Network::segment_of(int id) const {
+  if (segment_of_.empty()) return 0;
+  if (id < 0 || static_cast<std::size_t>(id) >= segment_of_.size()) {
+    throw std::invalid_argument("Network: endpoint without a segment");
+  }
+  return segment_of_[static_cast<std::size_t>(id)];
+}
+
+void Network::attach(int id, sim::Mailbox& mailbox) {
+  if (id < 0) throw std::invalid_argument("Network: negative endpoint id");
+  if (static_cast<std::size_t>(id) >= mailboxes_.size()) {
+    mailboxes_.resize(static_cast<std::size_t>(id) + 1, nullptr);
+  }
+  if (mailboxes_[static_cast<std::size_t>(id)] != nullptr) {
+    throw std::invalid_argument("Network: endpoint id already attached");
+  }
+  mailboxes_[static_cast<std::size_t>(id)] = &mailbox;
+}
+
+sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::size_t bytes,
+                              double overhead_fraction) {
+  if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size() ||
+      mailboxes_[static_cast<std::size_t>(dst)] == nullptr) {
+    throw std::invalid_argument("Network: send to unattached endpoint");
+  }
+  sim::Message message;
+  message.source = src;
+  message.tag = tag;
+  message.bytes = bytes;
+  message.payload = std::move(payload);
+  message.sent_at = engine_.now();
+
+  // Sender CPU: pack + transmit syscall.
+  co_await engine_.sleep_for(static_cast<sim::SimTime>(
+      static_cast<double>(params_.sender_overhead) * overhead_fraction));
+
+  const int src_segment = segment_of(src);
+  const int dst_segment = segment_of(dst);
+  sim::SimTime deliver_at =
+      segments_[static_cast<std::size_t>(src_segment)].transmit(bytes, engine_.now());
+  if (dst_segment != src_segment) {
+    // Store-and-forward across the bridge, then the destination segment.
+    deliver_at = segments_[static_cast<std::size_t>(dst_segment)].transmit(
+        bytes, deliver_at + bridge_latency_);
+    ++bridge_crossings_;
+  }
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+
+  sim::Mailbox* destination = mailboxes_[static_cast<std::size_t>(dst)];
+  engine_.schedule_at(deliver_at, [destination, m = std::move(message)]() mutable {
+    destination->deliver(std::move(m));
+  });
+}
+
+sim::Task<void> Network::multicast(int src, std::span<const int> dsts, int tag,
+                                   std::any payload, std::size_t bytes) {
+  bool first = true;
+  for (const int dst : dsts) {
+    if (dst == src) continue;
+    // pvm_mcast packs once: follow-up sends pay only a fraction of o_s.
+    co_await send(src, dst, tag, payload, bytes,
+                  first ? 1.0 : params_.multicast_extra_fraction);
+    first = false;
+  }
+}
+
+sim::Task<sim::Message> Network::receive(sim::Mailbox& mailbox, int tag, int source) {
+  sim::Message message = co_await mailbox.receive(tag, source);
+  // Receiver CPU: unpack.
+  co_await engine_.sleep_for(params_.receiver_overhead);
+  co_return message;
+}
+
+}  // namespace dlb::net

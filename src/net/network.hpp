@@ -1,0 +1,87 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "net/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/task.hpp"
+
+namespace dlb::net {
+
+/// PVM-like message layer over one or more shared Ethernet segments.
+/// Endpoints (workstations) register a mailbox under an integer id; `send`
+/// models the sender's CPU overhead, medium contention, and asynchronous
+/// delivery; `receive` models the receiver-side unpack overhead at consume
+/// time.
+///
+/// Topology (§4.1 lists it as a network parameter; the paper itself assumes
+/// full uniform connectivity, which is the default here): endpoints may be
+/// assigned to segments via `set_segments`.  An intra-segment message
+/// occupies only its segment; an inter-segment message occupies the source
+/// segment, then the destination segment, plus a store-and-forward bridge
+/// latency — the classic two-Ethernets-with-a-bridge department LAN.
+class Network {
+ public:
+  Network(sim::Engine& engine, EthernetParams params)
+      : engine_(engine), params_(params) {
+    segments_.emplace_back(params);
+  }
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Splits the network into `segments` Ethernet segments; `segment_of[id]`
+  /// maps each endpoint.  Must be called before traffic flows.  Pass
+  /// `bridge_latency` for the store-and-forward hop between segments.
+  void set_segments(int segments, std::vector<int> segment_of,
+                    sim::SimTime bridge_latency = sim::from_micros(500.0));
+
+  /// Registers `mailbox` as endpoint `id` (ids must be dense from 0).
+  void attach(int id, sim::Mailbox& mailbox);
+
+  [[nodiscard]] int endpoints() const noexcept { return static_cast<int>(mailboxes_.size()); }
+
+  /// Sends one message.  Occupies the *calling coroutine* (the sender's CPU)
+  /// for o_s, then hands the frame to the medium and returns — delivery is
+  /// asynchronous, like pvm_send.  `overhead_fraction` scales the sender CPU
+  /// cost (1.0 for a standalone send; less for multicast follow-ups).
+  [[nodiscard]] sim::Task<void> send(int src, int dst, int tag, std::any payload,
+                                     std::size_t bytes, double overhead_fraction = 1.0);
+
+  /// Sends to every id in `dsts` (sequential sender-side, like a pvm_mcast
+  /// loop).  The payload is copied per destination.
+  [[nodiscard]] sim::Task<void> multicast(int src, std::span<const int> dsts, int tag,
+                                          std::any payload, std::size_t bytes);
+
+  /// Receives from `mailbox` paying the receiver-side overhead o_r.
+  [[nodiscard]] sim::Task<sim::Message> receive(sim::Mailbox& mailbox, int tag = sim::kAnyTag,
+                                                int source = sim::kAnySource);
+
+  [[nodiscard]] const EthernetParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Ethernet& medium(int segment = 0) const {
+    return segments_.at(static_cast<std::size_t>(segment));
+  }
+  [[nodiscard]] int segments() const noexcept { return static_cast<int>(segments_.size()); }
+  [[nodiscard]] int segment_of(int id) const;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bridge_crossings() const noexcept { return bridge_crossings_; }
+
+ private:
+  sim::Engine& engine_;
+  EthernetParams params_;
+  std::vector<Ethernet> segments_;
+  std::vector<int> segment_of_;  // empty: everyone on segment 0
+  sim::SimTime bridge_latency_ = 0;
+  std::vector<sim::Mailbox*> mailboxes_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bridge_crossings_ = 0;
+};
+
+}  // namespace dlb::net

@@ -1,0 +1,116 @@
+#include "net/patterns.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/process.hpp"
+
+namespace dlb::net {
+
+namespace {
+
+constexpr int kPatternTag = 7;
+
+// The characterization measures the primitive send pattern (a pvm_send per
+// destination, full sender overhead each) — the paper's §6.1 methodology.
+// The DLB library's own broadcasts use the cheaper pack-once mcast path.
+sim::Process root_sender(sim::Engine& engine, Network& network, std::vector<int> dsts,
+                         std::size_t bytes, sim::SimTime* finished_at) {
+  for (const int dst : dsts) {
+    if (dst == 0) continue;
+    co_await network.send(0, dst, kPatternTag, std::any{}, bytes);
+  }
+  *finished_at = engine.now();
+}
+
+sim::Process receiver(sim::Engine& engine, Network& network, sim::Mailbox& mailbox, int count,
+                      sim::SimTime* finished_at) {
+  for (int i = 0; i < count; ++i) {
+    (void)co_await network.receive(mailbox, kPatternTag);
+  }
+  *finished_at = engine.now();
+}
+
+sim::Process sender_then_receiver(sim::Engine& engine, Network& network, sim::Mailbox& mailbox,
+                                  int self, std::vector<int> dsts, std::size_t bytes,
+                                  int recv_count, sim::SimTime* finished_at) {
+  for (const int dst : dsts) {
+    if (dst == self) continue;
+    co_await network.send(self, dst, kPatternTag, std::any{}, bytes);
+  }
+  for (int i = 0; i < recv_count; ++i) {
+    (void)co_await network.receive(mailbox, kPatternTag);
+  }
+  *finished_at = engine.now();
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::kOneToAll:
+      return "one-to-all";
+    case Pattern::kAllToOne:
+      return "all-to-one";
+    case Pattern::kAllToAll:
+      return "all-to-all";
+  }
+  return "?";
+}
+
+double measure_pattern(Pattern pattern, int procs, std::size_t bytes,
+                       const EthernetParams& params) {
+  if (procs < 2) throw std::invalid_argument("measure_pattern: need at least 2 processors");
+
+  sim::Engine engine;
+  Network network(engine, params);
+  std::vector<std::unique_ptr<sim::Mailbox>> mailboxes;
+  mailboxes.reserve(static_cast<std::size_t>(procs));
+  for (int i = 0; i < procs; ++i) {
+    mailboxes.push_back(std::make_unique<sim::Mailbox>(engine));
+    network.attach(i, *mailboxes.back());
+  }
+
+  std::vector<sim::SimTime> finished(static_cast<std::size_t>(procs), 0);
+  std::vector<int> all_but_root(static_cast<std::size_t>(procs) - 1);
+  std::iota(all_but_root.begin(), all_but_root.end(), 1);
+
+  switch (pattern) {
+    case Pattern::kOneToAll:
+      engine.spawn(root_sender(engine, network, all_but_root, bytes, &finished[0]));
+      for (int i = 1; i < procs; ++i) {
+        engine.spawn(receiver(engine, network, *mailboxes[static_cast<std::size_t>(i)], 1,
+                              &finished[static_cast<std::size_t>(i)]));
+      }
+      break;
+    case Pattern::kAllToOne:
+      engine.spawn(receiver(engine, network, *mailboxes[0], procs - 1, &finished[0]));
+      for (int i = 1; i < procs; ++i) {
+        engine.spawn(sender_then_receiver(engine, network, *mailboxes[static_cast<std::size_t>(i)],
+                                          i, std::vector<int>{0}, bytes, 0,
+                                          &finished[static_cast<std::size_t>(i)]));
+      }
+      break;
+    case Pattern::kAllToAll:
+      for (int i = 0; i < procs; ++i) {
+        std::vector<int> dsts(static_cast<std::size_t>(procs));
+        std::iota(dsts.begin(), dsts.end(), 0);
+        engine.spawn(sender_then_receiver(engine, network, *mailboxes[static_cast<std::size_t>(i)],
+                                          i, std::move(dsts), bytes, procs - 1,
+                                          &finished[static_cast<std::size_t>(i)]));
+      }
+      break;
+  }
+
+  engine.run();
+  const sim::SimTime last = *std::max_element(finished.begin(), finished.end());
+  return sim::to_seconds(last);
+}
+
+}  // namespace dlb::net

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+
+#include "net/params.hpp"
+
+namespace dlb::net {
+
+/// The three communication patterns the paper characterizes off-line (§6.1,
+/// Fig. 4) and uses in the strategies' synchronization cost (§4.2):
+///   OneToAll : root -> everyone          (interrupt / instruction send)
+///   AllToOne : everyone -> root          (profile send, centralized)
+///   AllToAll : everyone -> everyone      (profile broadcast, distributed)
+enum class Pattern { kOneToAll, kAllToOne, kAllToAll };
+
+[[nodiscard]] const char* pattern_name(Pattern p) noexcept;
+
+/// Runs one pattern among `procs` endpoints exchanging `bytes`-sized messages
+/// on a fresh simulator and returns the completion time in seconds (the time
+/// at which the last participant has consumed its last message).  This is the
+/// simulated analogue of the paper's measurement runs.
+[[nodiscard]] double measure_pattern(Pattern pattern, int procs, std::size_t bytes,
+                                     const EthernetParams& params);
+
+}  // namespace dlb::net

@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dlb::sim {
+
+Engine::~Engine() {
+  // Destroy still-suspended process frames.  Inner Task frames are destroyed
+  // transitively as the owning frames unwind their locals.
+  for (auto h : processes_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  events_.push_back(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  std::push_heap(events_.begin(), events_.end(), EventLater{});
+}
+
+void Engine::schedule_resume(SimTime at, std::coroutine_handle<> h) {
+  schedule_at(at, [h] { h.resume(); });
+}
+
+void Engine::spawn(Process p) {
+  const Process::Handle h = p.release();
+  processes_.push_back(h);
+  schedule_at(now_, [h] { h.resume(); });
+}
+
+void Engine::reap_and_check_processes() {
+  std::size_t keep = 0;
+  std::exception_ptr pending;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    const auto h = processes_[i];
+    if (h.done()) {
+      if (h.promise().exception && !pending) pending = h.promise().exception;
+      h.destroy();
+    } else {
+      processes_[keep++] = h;
+    }
+  }
+  processes_.resize(keep);
+  if (pending) std::rethrow_exception(pending);
+}
+
+SimTime Engine::run() { return run_until(kTimeInfinity); }
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!events_.empty()) {
+    if (events_.front().at > deadline) {
+      now_ = deadline;
+      return now_;
+    }
+    std::pop_heap(events_.begin(), events_.end(), EventLater{});
+    Event ev = std::move(events_.back());
+    events_.pop_back();
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    reap_and_check_processes();
+  }
+  return now_;
+}
+
+}  // namespace dlb::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::sim {
+
+/// Discrete-event engine over virtual time.  Events are ordered by
+/// (time, insertion sequence) so execution is deterministic.  Single-threaded
+/// by design — "parallelism" is virtual, which is what lets the cost model be
+/// validated against exact run traces.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules an arbitrary callback at absolute virtual time `at`
+  /// (clamped to `now()` if in the past).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules a coroutine resume at absolute virtual time `at`.
+  void schedule_resume(SimTime at, std::coroutine_handle<> h);
+
+  /// Starts a root process as an event at the current time.  The engine owns
+  /// the frame; exceptions escaping the process are re-thrown from run().
+  void spawn(Process p);
+
+  /// Runs until the event queue drains.  Returns the final virtual time.
+  SimTime run();
+
+  /// Runs until the queue drains or virtual time would exceed `deadline`;
+  /// events after the deadline remain queued.
+  SimTime run_until(SimTime deadline);
+
+  /// Awaitable: suspends the awaiting coroutine for `duration` virtual ns.
+  [[nodiscard]] auto sleep_for(SimTime duration) {
+    struct Awaiter {
+      Engine& engine;
+      SimTime wake_at;
+      bool await_ready() const noexcept { return wake_at <= engine.now(); }
+      void await_suspend(std::coroutine_handle<> h) const { engine.schedule_resume(wake_at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, duration <= 0 ? now_ : now_ + duration};
+  }
+
+  /// Awaitable: suspends until absolute virtual time `at` (no-op if past).
+  [[nodiscard]] auto sleep_until(SimTime at) {
+    struct Awaiter {
+      Engine& engine;
+      SimTime wake_at;
+      bool await_ready() const noexcept { return wake_at <= engine.now(); }
+      void await_suspend(std::coroutine_handle<> h) const { engine.schedule_resume(wake_at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, at};
+  }
+
+  [[nodiscard]] std::size_t events_executed() const noexcept { return events_executed_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void reap_and_check_processes();
+
+  std::vector<Event> events_;  // binary min-heap via std::push_heap/pop_heap
+  std::vector<Process::Handle> processes_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_executed_ = 0;
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,40 @@
+#include "sim/mailbox.hpp"
+
+namespace dlb::sim {
+
+void Mailbox::deliver(Message message) {
+  message.delivered_at = engine_.now();
+  // Serve the oldest suspended waiter whose filter matches.
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (matches(message, it->tag, it->source)) {
+      const Waiter waiter = *it;
+      waiters_.erase(it);
+      *waiter.slot = std::move(message);
+      // Resume via the scheduler (not inline) so delivery cascades cannot
+      // recurse arbitrarily deep and ordering stays (time, seq) determined.
+      engine_.schedule_resume(engine_.now(), waiter.handle);
+      return;
+    }
+  }
+  queue_.push_back(std::move(message));
+}
+
+std::optional<Message> Mailbox::try_receive(int tag, int source) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, tag, source)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::has_message(int tag, int source) const noexcept {
+  for (const auto& m : queue_) {
+    if (matches(m, tag, source)) return true;
+  }
+  return false;
+}
+
+}  // namespace dlb::sim

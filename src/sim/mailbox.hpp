@@ -1,0 +1,100 @@
+#pragma once
+
+#include <any>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::sim {
+
+/// Wildcards for tag/source matching, mirroring PVM's pvm_recv(-1, -1).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A simulated message.  The payload is type-erased; `bytes` is the on-wire
+/// size used for network cost accounting (payload size and wire size are
+/// decoupled, as they are in a real message-passing stack).
+struct Message {
+  int source = kAnySource;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::any payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+
+  /// Typed payload accessor; throws std::bad_any_cast on type mismatch.
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::any_cast<const T&>(payload);
+  }
+};
+
+/// Per-process tagged mailbox with awaitable receive.  Delivery order is
+/// preserved; a receive matches the oldest queued message whose tag/source
+/// satisfy the filter, exactly like PVM's receive semantics.  Suspended
+/// receivers are served in arrival (registration) order.
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) noexcept : engine_(engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Injects a message (called by the network at delivery time).  If a
+  /// matching receiver is suspended, it is resumed at the current time.
+  void deliver(Message message);
+
+  /// Non-blocking probe-and-take, used for interrupt polling between loop
+  /// iterations (the DLB_slave_sync check in the paper's Fig. 3).
+  [[nodiscard]] std::optional<Message> try_receive(int tag = kAnyTag, int source = kAnySource);
+
+  /// True iff a matching message is queued.
+  [[nodiscard]] bool has_message(int tag = kAnyTag, int source = kAnySource) const noexcept;
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+  /// Awaitable receive.  Suspends until a matching message is delivered.
+  [[nodiscard]] auto receive(int tag = kAnyTag, int source = kAnySource) {
+    struct Awaiter {
+      Mailbox& mailbox;
+      int tag;
+      int source;
+      std::optional<Message> taken;
+
+      bool await_ready() {
+        taken = mailbox.try_receive(tag, source);
+        return taken.has_value();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        mailbox.waiters_.push_back(Waiter{tag, source, h, &taken});
+      }
+      Message await_resume() {
+        if (!taken) throw std::logic_error("Mailbox: resumed without a message");
+        return std::move(*taken);
+      }
+    };
+    return Awaiter{*this, tag, source, std::nullopt};
+  }
+
+ private:
+  struct Waiter {
+    int tag;
+    int source;
+    std::coroutine_handle<> handle;
+    std::optional<Message>* slot;  // lives in the suspended coroutine frame
+  };
+
+  static bool matches(const Message& m, int tag, int source) noexcept {
+    return (tag == kAnyTag || m.tag == tag) && (source == kAnySource || m.source == source);
+  }
+
+  Engine& engine_;
+  std::deque<Message> queue_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace dlb::sim

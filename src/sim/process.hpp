@@ -1,0 +1,57 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace dlb::sim {
+
+/// A root simulated process.  Unlike `Task`, a Process has no awaiter: it is
+/// handed to `Engine::spawn`, which owns the frame, starts it as an event at
+/// the current virtual time, and surfaces any escaped exception from
+/// `Engine::run`.  All protocol actors (slaves, load balancers, the network
+/// characterizer) are Processes.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::exception_ptr exception;
+
+    Process get_return_object() { return Process(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the engine can observe completion and reap the
+    // frame; the engine destroys it.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Process(Process&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Process(const Process&) = delete;
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Transfers frame ownership to the engine.
+  [[nodiscard]] Handle release() noexcept { return std::exchange(h_, nullptr); }
+
+ private:
+  explicit Process(Handle h) noexcept : h_(h) {}
+  void destroy() noexcept {
+    if (h_) h_.destroy();
+    h_ = nullptr;
+  }
+  Handle h_;
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,16 @@
+#include "sim/resource.hpp"
+
+namespace dlb::sim {
+
+void Resource::release() {
+  if (in_use_ == 0) throw std::logic_error("Resource: release without acquire");
+  --in_use_;
+  if (!waiters_.empty() && in_use_ < capacity_) {
+    ++in_use_;  // the unit is transferred to the waiter before it resumes
+    const auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_.schedule_resume(engine_.now(), h);
+  }
+}
+
+}  // namespace dlb::sim

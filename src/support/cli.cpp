@@ -1,0 +1,40 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace dlb::support {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "1";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace dlb::support

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlb::support {
+
+/// Minimal CSV writer for exporting benchmark series (one file per figure so
+/// plots can be regenerated outside the repo).  Handles quoting of cells that
+/// contain separators, quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace dlb::support

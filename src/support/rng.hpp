@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dlb::support {
+
+/// Deterministic, seedable PRNG (xoshiro256**), independent of the standard
+/// library's unspecified distributions so results are identical across
+/// platforms and compilers.  Every stochastic component of the system (the
+/// external-load generator above all) draws from one of these, seeded from a
+/// user-provided root seed, so a whole cluster run is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi], inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Derives an independent stream: mixes this generator's seed lineage with
+  /// `stream_id`.  Used to give each workstation its own load stream from one
+  /// root seed.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_lineage_;
+};
+
+/// splitmix64 step — used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace dlb::support

@@ -1,0 +1,36 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dlb::support {
+
+Summary summarize(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty sample");
+  Summary s;
+  s.count = samples.size();
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double total = 0.0;
+  for (double v : sorted) total += v;
+  s.mean = total / static_cast<double>(n);
+  if (n >= 2) {
+    double ss = 0.0;
+    for (double v : sorted) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stdev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+double mean_of(std::span<const double> samples) { return summarize(samples).mean; }
+
+}  // namespace dlb::support

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+namespace dlb::support {
+
+/// Summary statistics over a sample (used when averaging runs across seeds).
+struct Summary {
+  double mean = 0.0;
+  double stdev = 0.0;  // sample standard deviation (n-1), 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+[[nodiscard]] double mean_of(std::span<const double> samples);
+
+}  // namespace dlb::support

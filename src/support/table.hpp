@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlb::support {
+
+/// Aligned ASCII table writer used by the benchmark harnesses to print the
+/// paper-style rows (Figs. 5-8, Tables 1-2).  Cells are strings; numeric
+/// formatting is done by the caller (see `fmt_fixed`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with column alignment and `|` separators.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a rule
+};
+
+/// Fixed-point formatting helper ("%.3f"-style) without <format> dependence.
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+
+/// Scientific-ish compact formatting for wide-ranging values.
+[[nodiscard]] std::string fmt_sig(double value, int significant);
+
+}  // namespace dlb::support

@@ -1,0 +1,124 @@
+// The workstation CPU as a preemptively shared resource: scheduling quanta,
+// fair interleaving between a compute slave and a collocated balancer-like
+// coroutine, and the busy() kernel-time primitive.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/workstation.hpp"
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using dlb::cluster::Cluster;
+using dlb::cluster::ClusterParams;
+using dlb::cluster::Workstation;
+using dlb::sim::from_seconds;
+using dlb::sim::Process;
+using dlb::sim::SimTime;
+using dlb::sim::to_seconds;
+
+ClusterParams one_dedicated(SimTime quantum) {
+  ClusterParams p;
+  p.procs = 1;
+  p.base_ops_per_sec = 1e6;
+  p.external_load = false;
+  p.cpu_quantum = quantum;
+  return p;
+}
+
+Process compute_job(Workstation& w, double ops, SimTime* done_at) {
+  co_await w.compute(ops);
+  *done_at = w.engine().now();
+}
+
+Process busy_job(Workstation& w, SimTime duration, SimTime* done_at) {
+  co_await w.busy(duration);
+  *done_at = w.engine().now();
+}
+
+TEST(WorkstationCpu, TwoComputeJobsTimeshare) {
+  // Two 1-second jobs on one CPU: both finish by ~2 s, and the second
+  // starts long before the first ends (round-robin quanta), so its finish
+  // is ~2 s rather than 1 s + 1 s strictly serialized from its arrival.
+  Cluster c(one_dedicated(from_seconds(0.02)));
+  SimTime done_a = 0;
+  SimTime done_b = 0;
+  c.engine().spawn(compute_job(c.station(0), 1e6, &done_a));
+  c.engine().spawn(compute_job(c.station(0), 1e6, &done_b));
+  c.engine().run();
+  EXPECT_NEAR(to_seconds(std::max(done_a, done_b)), 2.0, 0.05);
+  // Fairness: both finish within a quantum of each other.
+  EXPECT_LE(std::abs(done_a - done_b), from_seconds(0.021));
+}
+
+TEST(WorkstationCpu, ShortJobNotStarvedBehindLongJob) {
+  // A 10 ms job arriving under a 1 s job must complete in O(quantum), not
+  // after the long job — the balancer-next-to-slave scenario.
+  Cluster c(one_dedicated(from_seconds(0.02)));
+  SimTime long_done = 0;
+  SimTime short_done = 0;
+  c.engine().spawn(compute_job(c.station(0), 1e6, &long_done));
+  c.engine().spawn(compute_job(c.station(0), 10e3, &short_done));
+  c.engine().run();
+  EXPECT_LT(to_seconds(short_done), 0.1);
+  EXPECT_GT(to_seconds(long_done), 1.0);
+}
+
+TEST(WorkstationCpu, NonPreemptiveModeHoldsCpu) {
+  // quantum = 0 disables preemption: the second job waits for the first.
+  Cluster c(one_dedicated(0));
+  SimTime long_done = 0;
+  SimTime short_done = 0;
+  c.engine().spawn(compute_job(c.station(0), 1e6, &long_done));
+  c.engine().spawn(compute_job(c.station(0), 10e3, &short_done));
+  c.engine().run();
+  EXPECT_NEAR(to_seconds(long_done), 1.0, 1e-6);
+  EXPECT_NEAR(to_seconds(short_done), 1.01, 1e-6);
+}
+
+TEST(WorkstationCpu, QuantumDoesNotChangeTotalWork) {
+  for (const SimTime quantum : {SimTime{0}, from_seconds(0.001), from_seconds(0.1)}) {
+    Cluster c(one_dedicated(quantum));
+    SimTime done = 0;
+    c.engine().spawn(compute_job(c.station(0), 2.5e6, &done));
+    c.engine().run();
+    EXPECT_NEAR(to_seconds(done), 2.5, 1e-6) << "quantum " << quantum;
+  }
+}
+
+TEST(WorkstationCpu, BusyOccupiesCpuExclusively) {
+  Cluster c(one_dedicated(from_seconds(0.02)));
+  SimTime busy_done = 0;
+  SimTime compute_done = 0;
+  c.engine().spawn(busy_job(c.station(0), from_seconds(0.5), &busy_done));
+  c.engine().spawn(compute_job(c.station(0), 0.5e6, &compute_done));
+  c.engine().run();
+  // busy() holds the CPU non-preemptively for its duration.
+  EXPECT_NEAR(to_seconds(busy_done), 0.5, 1e-9);
+  EXPECT_NEAR(to_seconds(compute_done), 1.0, 1e-6);
+}
+
+TEST(WorkstationCpu, BusyZeroIsFree) {
+  Cluster c(one_dedicated(from_seconds(0.02)));
+  SimTime done = 123;
+  c.engine().spawn(busy_job(c.station(0), 0, &done));
+  c.engine().run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(WorkstationCpu, LoadAppliesWithinQuanta) {
+  // Constant load level 1 (slowdown 2): a 1e6-op job takes 2 s regardless
+  // of quantum slicing.
+  ClusterParams p = one_dedicated(from_seconds(0.02));
+  p.external_load = true;
+  p.load.max_load = 0;  // level 0 everywhere...
+  Cluster zero_load(p);
+  SimTime done = 0;
+  zero_load.engine().spawn(compute_job(zero_load.station(0), 1e6, &done));
+  zero_load.engine().run();
+  EXPECT_NEAR(to_seconds(done), 1.0, 1e-6);
+}
+
+}  // namespace

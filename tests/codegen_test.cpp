@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "codegen/emitter.hpp"
+#include "codegen/lexer.hpp"
+#include "codegen/parser.hpp"
+
+namespace {
+
+using dlb::codegen::Distribution;
+using dlb::codegen::parse;
+using dlb::codegen::tokenize;
+using dlb::codegen::TokenKind;
+using dlb::codegen::transform;
+
+const char* kMxmSource = R"(#pragma dlb array Z(R, C) distribute(BLOCK, WHOLE)
+#pragma dlb array X(R, R2) distribute(BLOCK, WHOLE)
+#pragma dlb array Y(R2, C) distribute(WHOLE, WHOLE)
+#pragma dlb balance
+for i = 0, R {
+  for j = 0, R2 {
+    for k = 0, C {
+      Z(i,j) += X(i,k) * Y(k,j);
+    }
+  }
+}
+)";
+
+TEST(Lexer, TokenizesWordsAndPunct) {
+  const auto tokens = tokenize("for i = 0, R { x; }");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "for");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = tokenize("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, PragmaBecomesSingleToken) {
+  const auto tokens = tokenize("#pragma dlb balance\nfor");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
+  EXPECT_EQ(tokens[0].text, " balance");
+  EXPECT_EQ(tokens[1].text, "for");
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto tokens = tokenize("a // hidden\nb");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, RejectsForeignPreprocessor) {
+  EXPECT_THROW((void)tokenize("#include <x.h>"), std::runtime_error);
+}
+
+TEST(Parser, ParsesMxmProgram) {
+  const auto program = parse(kMxmSource);
+  ASSERT_EQ(program.arrays.size(), 3u);
+  EXPECT_EQ(program.arrays[0].name, "Z");
+  EXPECT_EQ(program.arrays[0].extents, (std::vector<std::string>{"R", "C"}));
+  EXPECT_EQ(program.arrays[0].distribution[0], Distribution::kBlock);
+  EXPECT_EQ(program.arrays[0].distribution[1], Distribution::kWhole);
+  EXPECT_EQ(program.arrays[2].distribution[0], Distribution::kWhole);
+
+  EXPECT_TRUE(program.root.balanced);
+  EXPECT_EQ(program.root.var, "i");
+  EXPECT_EQ(program.root.lo, "0");
+  EXPECT_EQ(program.root.hi, "R");
+  ASSERT_EQ(program.root.body.size(), 1u);
+  ASSERT_TRUE(program.root.body[0].loop != nullptr);
+  const auto& j_loop = *program.root.body[0].loop;
+  EXPECT_EQ(j_loop.var, "j");
+  ASSERT_EQ(j_loop.body.size(), 1u);
+  const auto& k_loop = *j_loop.body[0].loop;
+  ASSERT_EQ(k_loop.body.size(), 1u);
+  EXPECT_EQ(k_loop.body[0].raw, "Z(i,j)+=X(i,k)*Y(k,j)");
+}
+
+TEST(Parser, CyclicDistributionAccepted) {
+  const auto program = parse(
+      "#pragma dlb array A(N) distribute(CYCLIC)\n#pragma dlb balance\nfor i = 0, N { A(i) = "
+      "0; }\n");
+  EXPECT_EQ(program.arrays[0].distribution[0], Distribution::kCyclic);
+}
+
+TEST(Parser, MultipleRawStatements) {
+  const auto program =
+      parse("#pragma dlb balance\nfor i = 0, N { a = b; c = d; for j = 0, M { e; } }\n");
+  ASSERT_EQ(program.root.body.size(), 3u);
+  EXPECT_EQ(program.root.body[0].raw, "a=b");
+  EXPECT_EQ(program.root.body[1].raw, "c=d");
+  EXPECT_TRUE(program.root.body[2].loop != nullptr);
+}
+
+TEST(Parser, ExpressionBounds) {
+  const auto program =
+      parse("#pragma dlb balance\nfor i = (n + 1), (n * n) { body; }\n");
+  EXPECT_EQ(program.root.lo, "(n+1)");
+  EXPECT_EQ(program.root.hi, "(n*n)");
+}
+
+TEST(Parser, Rejections) {
+  EXPECT_THROW((void)parse("for i = 0, N { x; }"), std::runtime_error);  // no balance pragma
+  EXPECT_THROW((void)parse("#pragma dlb balance\nwhile { }"), std::runtime_error);
+  EXPECT_THROW((void)parse("#pragma dlb balance\nfor i = 0, N { x }"), std::runtime_error);
+  EXPECT_THROW((void)parse("#pragma dlb balance\nfor i = 0, N { x; "), std::runtime_error);
+  EXPECT_THROW((void)parse("#pragma dlb frobnicate\nfor i = 0, N { x; }"), std::runtime_error);
+  EXPECT_THROW((void)parse("#pragma dlb array A(N) distribute(BLOCK, WHOLE)\n"
+                           "#pragma dlb balance\nfor i = 0, N { x; }"),
+               std::runtime_error);  // arity mismatch
+  EXPECT_THROW((void)parse("#pragma dlb array A(N) distribute(DIAGONAL)\n"
+                           "#pragma dlb balance\nfor i = 0, N { x; }"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse("#pragma dlb balance\nfor i = 0, N { x; } trailing"),
+               std::runtime_error);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse("#pragma dlb balance\nfor i = 0, N {\n  broken\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+TEST(Emitter, MxmTransformationContainsFig3Structure) {
+  const std::string out = transform(kMxmSource);
+  // The Fig. 3 skeleton, in order.
+  const char* expected[] = {
+      "DLB_array_t DLB_array_Z = { \"Z\", 2, { R, C }, sizeof(double), { DLB_BLOCK, DLB_WHOLE } };",
+      "DLB_init(argcnt, &dlb, P, K, task_ids, master_tid, &DLB_array_Z, &DLB_array_X, "
+      "&DLB_array_Y);",
+      "DLB_scatter_data(&dlb);",
+      "DLB_master_sync(&dlb);",
+      "while (dlb.more_work) {",
+      "for (i = dlb.start; i < dlb.end && dlb.more_work; i++) {",
+      "for (j = 0; j < R2; j++) {",
+      "for (k = 0; k < C; k++) {",
+      "Z(i,j)+=X(i,k)*Y(k,j);",
+      "if (DLB_slave_sync(&dlb) && dlb.interrupt)",
+      "DLB_profile_send_move_work(&dlb);",
+      "DLB_send_interrupt(&dlb);",
+      "DLB_gather_data(&dlb);",
+  };
+  std::size_t at = 0;
+  for (const char* fragment : expected) {
+    const auto found = out.find(fragment, at);
+    ASSERT_NE(found, std::string::npos) << "missing or out of order: " << fragment << "\n" << out;
+    at = found;
+  }
+}
+
+TEST(Emitter, ElementTypeOption) {
+  dlb::codegen::EmitOptions options;
+  options.element_type = "float";
+  const std::string out = transform(kMxmSource, options);
+  EXPECT_NE(out.find("sizeof(float)"), std::string::npos);
+}
+
+TEST(Emitter, Deterministic) {
+  EXPECT_EQ(transform(kMxmSource), transform(kMxmSource));
+}
+
+}  // namespace

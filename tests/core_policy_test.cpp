@@ -1,0 +1,220 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using dlb::core::analyze_profitability;
+using dlb::core::compute_distribution;
+using dlb::core::decide;
+using dlb::core::DlbConfig;
+using dlb::core::move_below_threshold;
+using dlb::core::plan_transfers;
+using dlb::core::ProfileSnapshot;
+using dlb::core::Transfer;
+using dlb::core::work_to_move;
+
+std::vector<ProfileSnapshot> profiles(std::vector<std::int64_t> remaining,
+                                      std::vector<double> rates) {
+  std::vector<ProfileSnapshot> out;
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    out.push_back({static_cast<int>(i), remaining[i], rates[i], true});
+  }
+  return out;
+}
+
+TEST(ComputeDistribution, EqualRatesEqualShares) {
+  const auto p = profiles({30, 30, 30, 30}, {1, 1, 1, 1});
+  const auto a = compute_distribution(p);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{30, 30, 30, 30}));
+}
+
+TEST(ComputeDistribution, ProportionalToRate) {
+  const auto p = profiles({50, 50}, {1.0, 3.0});
+  const auto a = compute_distribution(p);
+  EXPECT_EQ(a[0], 25);
+  EXPECT_EQ(a[1], 75);
+}
+
+TEST(ComputeDistribution, SumAlwaysExact) {
+  // Awkward rates that do not divide evenly.
+  const auto p = profiles({17, 23, 5, 55}, {1.1, 2.7, 0.3, 1.9});
+  const auto a = compute_distribution(p);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), std::int64_t{0}), 100);
+  for (const auto v : a) EXPECT_GE(v, 0);
+}
+
+TEST(ComputeDistribution, InactiveGetNothing) {
+  // An inactive processor is by protocol invariant already drained.
+  auto p = profiles({10, 0, 10}, {1, 1, 1});
+  p[1].active = false;
+  const auto a = compute_distribution(p);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[0] + a[2], 20);
+}
+
+TEST(ComputeDistribution, ZeroTotalGivesZeros) {
+  const auto p = profiles({0, 0}, {1, 1});
+  const auto a = compute_distribution(p);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(ComputeDistribution, Rejections) {
+  EXPECT_THROW((void)compute_distribution({}), std::invalid_argument);
+  EXPECT_THROW((void)compute_distribution(profiles({5}, {0.0})), std::invalid_argument);
+  EXPECT_THROW((void)compute_distribution(profiles({-1}, {1.0})), std::invalid_argument);
+  auto all_inactive = profiles({5}, {1.0});
+  all_inactive[0].active = false;
+  EXPECT_THROW((void)compute_distribution(all_inactive), std::invalid_argument);
+}
+
+TEST(WorkToMove, HalfSumOfAbsoluteDeltas) {
+  const auto p = profiles({40, 0, 20}, {1, 1, 1});
+  const std::vector<std::int64_t> a{20, 20, 20};
+  EXPECT_EQ(work_to_move(p, a), 20);
+}
+
+TEST(WorkToMove, ZeroWhenBalanced) {
+  const auto p = profiles({10, 10}, {1, 1});
+  const std::vector<std::int64_t> a{10, 10};
+  EXPECT_EQ(work_to_move(p, a), 0);
+}
+
+TEST(MoveBelowThreshold, Behaviour) {
+  EXPECT_TRUE(move_below_threshold(0, 100, 0.05));
+  EXPECT_TRUE(move_below_threshold(4, 100, 0.05));
+  EXPECT_FALSE(move_below_threshold(5, 100, 0.05));
+  EXPECT_FALSE(move_below_threshold(50, 100, 0.05));
+}
+
+TEST(Profitability, ClearWinIsProfitable) {
+  // One processor drowning, one idle: balancing halves the finish time.
+  const auto p = profiles({100, 0}, {1.0, 1.0});
+  const std::vector<std::int64_t> a{50, 50};
+  const auto result = analyze_profitability(p, a, 0.10);
+  EXPECT_DOUBLE_EQ(result.current_finish_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(result.balanced_finish_seconds, 50.0);
+  EXPECT_TRUE(result.profitable);
+}
+
+TEST(Profitability, MarginalGainRejected) {
+  // 5 % improvement < 10 % margin.
+  const auto p = profiles({100, 90}, {1.0, 1.0});
+  const std::vector<std::int64_t> a{95, 95};
+  const auto result = analyze_profitability(p, a, 0.10);
+  EXPECT_FALSE(result.profitable);
+}
+
+TEST(Profitability, RespectsRates) {
+  // The fast processor takes the bigger share yet finishes sooner.
+  const auto p = profiles({60, 0}, {1.0, 3.0});
+  const auto a = compute_distribution(p);  // {15, 45}
+  const auto result = analyze_profitability(p, a, 0.10);
+  EXPECT_NEAR(result.balanced_finish_seconds, 15.0, 1.0);
+  EXPECT_TRUE(result.profitable);
+}
+
+TEST(PlanTransfers, SimpleSurplusToDeficit) {
+  const auto p = profiles({40, 0}, {1, 1});
+  const std::vector<std::int64_t> a{20, 20};
+  const auto t = plan_transfers(p, a);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], (Transfer{0, 1, 20}));
+}
+
+TEST(PlanTransfers, MultiWaySplit) {
+  const auto p = profiles({90, 0, 0}, {1, 1, 1});
+  const std::vector<std::int64_t> a{30, 30, 30};
+  const auto t = plan_transfers(p, a);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Transfer{0, 1, 30}));
+  EXPECT_EQ(t[1], (Transfer{0, 2, 30}));
+}
+
+TEST(PlanTransfers, ConservesWork) {
+  const auto p = profiles({13, 47, 2, 38}, {2.0, 0.5, 3.0, 1.0});
+  const auto a = compute_distribution(p);
+  const auto t = plan_transfers(p, a);
+  std::vector<std::int64_t> result{13, 47, 2, 38};
+  for (const auto& tr : t) {
+    result[static_cast<std::size_t>(tr.from)] -= tr.count;
+    result[static_cast<std::size_t>(tr.to)] += tr.count;
+    EXPECT_GT(tr.count, 0);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(result[i], a[i]);
+}
+
+TEST(PlanTransfers, NoTransfersWhenBalanced) {
+  const auto p = profiles({10, 10}, {1, 1});
+  const std::vector<std::int64_t> a{10, 10};
+  EXPECT_TRUE(plan_transfers(p, a).empty());
+}
+
+TEST(Decide, FullPipelineMoves) {
+  DlbConfig config;
+  const auto p = profiles({100, 0, 0, 0}, {1, 1, 1, 1});
+  const auto d = decide(p, config);
+  EXPECT_TRUE(d.moved);
+  EXPECT_EQ(d.total_remaining, 100);
+  EXPECT_EQ(d.to_move, 75);
+  EXPECT_EQ(d.assignment, (std::vector<std::int64_t>{25, 25, 25, 25}));
+  ASSERT_EQ(d.transfers.size(), 3u);
+  EXPECT_TRUE(d.newly_inactive.empty());
+}
+
+TEST(Decide, BelowThresholdNoMove) {
+  DlbConfig config;
+  config.move_threshold_fraction = 0.05;
+  const auto p = profiles({51, 49}, {1, 1});
+  const auto d = decide(p, config);
+  EXPECT_FALSE(d.moved);
+  EXPECT_TRUE(d.transfers.empty());
+}
+
+TEST(Decide, InitiatorGoesIdleWhenNoMove) {
+  DlbConfig config;
+  // The finished processor is far slower than the owner of the remaining
+  // work: the distribution hands it (nearly) nothing, the move falls below
+  // the threshold, and the finisher idles (§3.4's utilization discussion).
+  const auto p = profiles({0, 40}, {0.01, 10.0});
+  const auto d = decide(p, config);
+  EXPECT_FALSE(d.moved);
+  ASSERT_EQ(d.newly_inactive.size(), 1u);
+  EXPECT_EQ(d.newly_inactive[0], 0);
+}
+
+TEST(Decide, SlowProcessorDrainedGoesIdle) {
+  DlbConfig config;
+  config.move_threshold_fraction = 0.0;  // always consider the move
+  // Processor 1 is immensely slow: the distribution gives it nothing.
+  const auto p = profiles({0, 40}, {100.0, 0.001});
+  const auto d = decide(p, config);
+  EXPECT_TRUE(d.moved);
+  EXPECT_EQ(d.assignment[1], 0);
+  ASSERT_EQ(d.newly_inactive.size(), 1u);
+  EXPECT_EQ(d.newly_inactive[0], 1);
+}
+
+TEST(Decide, LoopDoneWhenNothingLeft) {
+  DlbConfig config;
+  const auto p = profiles({0, 0, 0}, {1, 1, 1});
+  const auto d = decide(p, config);
+  EXPECT_EQ(d.total_remaining, 0);
+  EXPECT_FALSE(d.moved);
+  EXPECT_EQ(d.newly_inactive.size(), 3u);
+}
+
+TEST(Decide, DeterministicForSameInputs) {
+  DlbConfig config;
+  const auto p = profiles({31, 7, 55, 0}, {1.7, 0.9, 2.2, 3.0});
+  const auto d1 = decide(p, config);
+  const auto d2 = decide(p, config);
+  EXPECT_EQ(d1.assignment, d2.assignment);
+  EXPECT_EQ(d1.transfers, d2.transfers);
+  EXPECT_EQ(d1.moved, d2.moved);
+}
+
+}  // namespace

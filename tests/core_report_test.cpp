@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/synthetic.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+using dlb::core::json_escape;
+using dlb::core::write_run_json;
+using dlb::core::write_trace_csv;
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+dlb::core::RunResult sample_run(bool with_trace) {
+  dlb::cluster::ClusterParams params;
+  params.procs = 4;
+  params.base_ops_per_sec = 1e6;
+  params.external_load = true;
+  dlb::core::DlbConfig config;
+  config.strategy = dlb::core::Strategy::kGDDLB;
+  config.record_trace = with_trace;
+  return dlb::core::run_app(params, dlb::apps::make_uniform(48, 30e3, 64.0), config);
+}
+
+bool braces_balanced(const std::string& text) {
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(RunJson, ContainsExpectedFieldsAndBalances) {
+  const auto run = sample_run(false);
+  std::ostringstream os;
+  write_run_json(os, run);
+  const std::string out = os.str();
+  for (const char* key :
+       {"\"app\"", "\"strategy\": \"GDDLB\"", "\"exec_seconds\"", "\"loops\"",
+        "\"executed_per_proc\"", "\"events\"", "\"redistributed\""}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(out.find("\"trace\""), std::string::npos);  // no trace recorded
+  EXPECT_TRUE(braces_balanced(out));
+}
+
+TEST(RunJson, IncludesTraceWhenRecorded) {
+  const auto run = sample_run(true);
+  std::ostringstream os;
+  write_run_json(os, run);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"trace\""), std::string::npos);
+  EXPECT_NE(out.find("\"compute\""), std::string::npos);
+  EXPECT_TRUE(braces_balanced(out));
+}
+
+TEST(TraceCsv, OneRowPerSegment) {
+  const auto run = sample_run(true);
+  std::ostringstream os;
+  write_trace_csv(os, *run.trace);
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, run.trace->segments().size() + 1);  // header + rows
+  EXPECT_NE(out.find("proc,kind,begin_seconds,end_seconds"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/synthetic.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+using dlb::core::ActivityKind;
+using dlb::core::Trace;
+using dlb::sim::from_seconds;
+
+TEST(Trace, RecordsAndAggregates) {
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  t.record(0, ActivityKind::kSync, from_seconds(1.0), from_seconds(1.5));
+  t.record(1, ActivityKind::kCompute, 0, from_seconds(2.0));
+  EXPECT_EQ(t.segments().size(), 3u);
+  EXPECT_EQ(t.span_end(), from_seconds(2.0));
+
+  const auto busy = t.busy_seconds(2);
+  EXPECT_DOUBLE_EQ(busy[0], 1.5);
+  EXPECT_DOUBLE_EQ(busy[1], 2.0);
+  const auto compute = t.compute_seconds(2);
+  EXPECT_DOUBLE_EQ(compute[0], 1.0);
+  const auto util = t.utilization(2);
+  EXPECT_DOUBLE_EQ(util[0], 0.5);
+  EXPECT_DOUBLE_EQ(util[1], 1.0);
+}
+
+TEST(Trace, ZeroLengthSegmentsDropped) {
+  Trace t;
+  t.record(0, ActivityKind::kSync, 5, 5);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, Rejections) {
+  Trace t;
+  EXPECT_THROW(t.record(-1, ActivityKind::kCompute, 0, 1), std::invalid_argument);
+  EXPECT_THROW(t.record(0, ActivityKind::kCompute, 2, 1), std::invalid_argument);
+}
+
+TEST(Trace, GanttRendersRowsPerProcessor) {
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  t.record(1, ActivityKind::kMove, from_seconds(0.5), from_seconds(1.0));
+  std::ostringstream os;
+  t.render_gantt(os, 2, 20);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('m'), std::string::npos);
+}
+
+TEST(Trace, GanttEmptyTrace) {
+  Trace t;
+  std::ostringstream os;
+  t.render_gantt(os, 2, 20);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Trace, MoreSpecificGlyphWins) {
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  t.record(0, ActivityKind::kMove, 0, from_seconds(1.0));
+  std::ostringstream os;
+  t.render_gantt(os, 1, 10);
+  // First line is P0's row; the overlapping move outranks the compute there
+  // (the legend below legitimately contains '#').
+  const std::string row = os.str().substr(0, os.str().find('\n'));
+  EXPECT_EQ(row.find('#'), std::string::npos);
+  EXPECT_NE(row.find('m'), std::string::npos);
+}
+
+dlb::cluster::ClusterParams params_for(int procs) {
+  dlb::cluster::ClusterParams p;
+  p.procs = procs;
+  p.base_ops_per_sec = 1e6;
+  p.external_load = true;
+  return p;
+}
+
+TEST(TraceIntegration, DisabledByDefault) {
+  const auto app = dlb::apps::make_uniform(32, 20e3, 16.0);
+  dlb::core::DlbConfig config;
+  config.strategy = dlb::core::Strategy::kGDDLB;
+  const auto r = dlb::core::run_app(params_for(4), app, config);
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+TEST(TraceIntegration, RecordsComputeAndSyncSegments) {
+  const auto app = dlb::apps::make_uniform(32, 20e3, 16.0);
+  dlb::core::DlbConfig config;
+  config.strategy = dlb::core::Strategy::kGDDLB;
+  config.record_trace = true;
+  const auto r = dlb::core::run_app(params_for(4), app, config);
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_FALSE(r.trace->empty());
+
+  bool has_compute = false;
+  bool has_sync = false;
+  for (const auto& s : r.trace->segments()) {
+    EXPECT_GE(s.begin, 0);
+    EXPECT_LE(s.end, dlb::sim::from_seconds(r.exec_seconds) + 1);
+    if (s.kind == ActivityKind::kCompute) has_compute = true;
+    if (s.kind == ActivityKind::kSync) has_sync = true;
+  }
+  EXPECT_TRUE(has_compute);
+  EXPECT_TRUE(has_sync);
+}
+
+TEST(TraceIntegration, ComputeTimeConsistentWithWork) {
+  // Dedicated homogeneous cluster: total traced compute time equals
+  // iterations x ops / rate.
+  auto params = params_for(4);
+  params.external_load = false;
+  const auto app = dlb::apps::make_uniform(32, 20e3, 0.0);
+  dlb::core::DlbConfig config;
+  config.strategy = dlb::core::Strategy::kNoDlb;
+  config.record_trace = true;
+  const auto r = dlb::core::run_app(params, app, config);
+  const auto compute = r.trace->compute_seconds(4);
+  double total = 0.0;
+  for (const auto c : compute) total += c;
+  EXPECT_NEAR(total, 32 * 20e3 / 1e6, 1e-6);
+}
+
+TEST(TraceIntegration, NoDlbHasNoSyncSegments) {
+  const auto app = dlb::apps::make_uniform(32, 20e3, 0.0);
+  dlb::core::DlbConfig config;
+  config.strategy = dlb::core::Strategy::kNoDlb;
+  config.record_trace = true;
+  const auto r = dlb::core::run_app(params_for(4), app, config);
+  for (const auto& s : r.trace->segments()) {
+    EXPECT_EQ(s.kind, ActivityKind::kCompute);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Fuzz of Mailbox::deliver / try_receive against a trivial reference model
+// (a plain vector with linear scans): tag/source filtered matching must
+// behave identically over thousands of random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dlb::sim::Engine;
+using dlb::sim::kAnySource;
+using dlb::sim::kAnyTag;
+using dlb::sim::Mailbox;
+using dlb::sim::Message;
+using dlb::support::Rng;
+
+struct RefMessage {
+  int source;
+  int tag;
+  int value;
+};
+
+class ReferenceMailbox {
+ public:
+  void deliver(RefMessage m) { queue_.push_back(m); }
+
+  std::optional<RefMessage> try_receive(int tag, int source) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const auto& m = queue_[i];
+      if ((tag == kAnyTag || m.tag == tag) && (source == kAnySource || m.source == source)) {
+        const RefMessage out = m;
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+ private:
+  std::vector<RefMessage> queue_;
+};
+
+TEST(MailboxFuzz, MatchesReferenceModel) {
+  Engine engine;
+  Mailbox box(engine);
+  ReferenceMailbox reference;
+  Rng rng(31337);
+
+  int next_value = 0;
+  for (int op = 0; op < 20000; ++op) {
+    const bool do_deliver = rng.uniform01() < 0.55 || reference.size() == 0;
+    if (do_deliver) {
+      const int source = static_cast<int>(rng.uniform_int(0, 3));
+      const int tag = static_cast<int>(rng.uniform_int(100, 104));
+      Message m;
+      m.source = source;
+      m.tag = tag;
+      m.payload = next_value;
+      box.deliver(std::move(m));
+      reference.deliver({source, tag, next_value});
+      ++next_value;
+    } else {
+      const int tag = rng.uniform01() < 0.3
+                          ? kAnyTag
+                          : static_cast<int>(rng.uniform_int(100, 104));
+      const int source =
+          rng.uniform01() < 0.3 ? kAnySource : static_cast<int>(rng.uniform_int(0, 3));
+      const auto got = box.try_receive(tag, source);
+      const auto expected = reference.try_receive(tag, source);
+      ASSERT_EQ(got.has_value(), expected.has_value()) << "op " << op;
+      if (got) {
+        EXPECT_EQ(got->source, expected->source) << "op " << op;
+        EXPECT_EQ(got->tag, expected->tag) << "op " << op;
+        EXPECT_EQ(got->as<int>(), expected->value) << "op " << op;
+      }
+    }
+    ASSERT_EQ(box.queued(), reference.size()) << "op " << op;
+  }
+}
+
+TEST(MailboxFuzz, HasMessageAgreesWithTryReceive) {
+  Engine engine;
+  Mailbox box(engine);
+  Rng rng(77);
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.uniform01() < 0.6) {
+      Message m;
+      m.source = static_cast<int>(rng.uniform_int(0, 2));
+      m.tag = static_cast<int>(rng.uniform_int(10, 12));
+      box.deliver(std::move(m));
+    } else {
+      const int tag = static_cast<int>(rng.uniform_int(10, 12));
+      const int source = static_cast<int>(rng.uniform_int(0, 2));
+      const bool had = box.has_message(tag, source);
+      const auto got = box.try_receive(tag, source);
+      EXPECT_EQ(had, got.has_value()) << "op " << op;
+    }
+  }
+}
+
+}  // namespace

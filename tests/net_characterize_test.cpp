@@ -1,0 +1,71 @@
+#include "net/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/params.hpp"
+#include "net/patterns.hpp"
+
+namespace {
+
+using dlb::net::characterize;
+using dlb::net::CollectiveCosts;
+using dlb::net::EthernetParams;
+using dlb::net::measure_pattern;
+using dlb::net::Pattern;
+
+TEST(Characterize, FitsMatchMeasurementsClosely) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 16);
+  EXPECT_GT(ch.r2_one_to_all, 0.99);
+  EXPECT_GT(ch.r2_all_to_one, 0.99);
+  EXPECT_GT(ch.r2_all_to_all, 0.99);
+}
+
+TEST(Characterize, SampleGridComplete) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 8);
+  // P = 2..8, three patterns each.
+  EXPECT_EQ(ch.samples.size(), 3u * 7u);
+}
+
+TEST(Characterize, FittedCostsInterpolate) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 16);
+  for (int p : {4, 8, 16}) {
+    const double measured = measure_pattern(Pattern::kAllToAll, p, 64, params);
+    EXPECT_NEAR(ch.costs.eval(Pattern::kAllToAll, p), measured, measured * 0.1) << p;
+  }
+}
+
+TEST(Characterize, SyncCostsComposePatterns) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 16);
+  const double oa = ch.costs.eval(Pattern::kOneToAll, 8);
+  const double ao = ch.costs.eval(Pattern::kAllToOne, 8);
+  const double aa = ch.costs.eval(Pattern::kAllToAll, 8);
+  EXPECT_DOUBLE_EQ(ch.costs.sync_centralized(8), oa + ao);
+  EXPECT_DOUBLE_EQ(ch.costs.sync_distributed(8), oa + aa);
+  // The distributed sync is the more expensive one (paper §3.6).
+  EXPECT_GT(ch.costs.sync_distributed(8), ch.costs.sync_centralized(8));
+}
+
+TEST(Characterize, DegenerateGroupIsFree) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 8);
+  EXPECT_DOUBLE_EQ(ch.costs.eval(Pattern::kAllToAll, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ch.costs.sync_centralized(1), 0.0);
+}
+
+TEST(Characterize, ReportsPaperLatencyAndBandwidth) {
+  const EthernetParams params;
+  const auto ch = characterize(params, 8);
+  EXPECT_NEAR(ch.costs.latency_seconds * 1e6, 2414.5, 10.0);
+  EXPECT_DOUBLE_EQ(ch.costs.bandwidth_bytes, 0.96e6);
+}
+
+TEST(Characterize, RejectsTinySweep) {
+  const EthernetParams params;
+  EXPECT_THROW((void)characterize(params, 2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "net/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/params.hpp"
+
+namespace {
+
+using dlb::net::EthernetParams;
+using dlb::net::measure_pattern;
+using dlb::net::Pattern;
+
+class PatternCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternCost, AllToAllIsMostExpensive) {
+  const int procs = GetParam();
+  const EthernetParams params;
+  const double oa = measure_pattern(Pattern::kOneToAll, procs, 64, params);
+  const double ao = measure_pattern(Pattern::kAllToOne, procs, 64, params);
+  const double aa = measure_pattern(Pattern::kAllToAll, procs, 64, params);
+  EXPECT_GT(aa, oa);
+  EXPECT_GT(aa, ao);
+  EXPECT_GT(oa, 0.0);
+  EXPECT_GT(ao, 0.0);
+}
+
+TEST_P(PatternCost, CostsGrowWithProcs) {
+  const int procs = GetParam();
+  const EthernetParams params;
+  for (const auto pattern : {Pattern::kOneToAll, Pattern::kAllToOne, Pattern::kAllToAll}) {
+    const double small = measure_pattern(pattern, procs, 64, params);
+    const double big = measure_pattern(pattern, procs + 1, 64, params);
+    EXPECT_GT(big, small) << pattern_name(pattern);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PatternCost, ::testing::Values(2, 4, 8, 16));
+
+TEST(PatternCost, AllToAllQuadraticOneToAllLinear) {
+  const EthernetParams params;
+  // Ratio of cost(2P)/cost(P): ~2 for a linear pattern, ~4 for quadratic.
+  const double oa8 = measure_pattern(Pattern::kOneToAll, 8, 64, params);
+  const double oa16 = measure_pattern(Pattern::kOneToAll, 16, 64, params);
+  const double aa8 = measure_pattern(Pattern::kAllToAll, 8, 64, params);
+  const double aa16 = measure_pattern(Pattern::kAllToAll, 16, 64, params);
+  EXPECT_LT(oa16 / oa8, 2.6);
+  EXPECT_GT(aa16 / aa8, 2.8);
+}
+
+TEST(PatternCost, AllToAllSubstantiallyAboveOneToAllAt16) {
+  // Paper Fig. 4: at 16 procs AA is a small multiple of OA (roughly 4-5x on
+  // their PVM/Ethernet; the exact factor depends on the pack/send split).
+  const EthernetParams params;
+  const double oa = measure_pattern(Pattern::kOneToAll, 16, 64, params);
+  const double aa = measure_pattern(Pattern::kAllToAll, 16, 64, params);
+  EXPECT_GT(aa / oa, 3.0);
+  EXPECT_LT(aa / oa, 14.0);
+}
+
+TEST(PatternCost, LargerMessagesCostMore) {
+  const EthernetParams params;
+  const double small = measure_pattern(Pattern::kOneToAll, 8, 64, params);
+  const double big = measure_pattern(Pattern::kOneToAll, 8, 64 * 1024, params);
+  EXPECT_GT(big, small);
+}
+
+TEST(PatternCost, RejectsDegenerateProcCount) {
+  const EthernetParams params;
+  EXPECT_THROW((void)measure_pattern(Pattern::kOneToAll, 1, 64, params), std::invalid_argument);
+}
+
+TEST(PatternCost, Deterministic) {
+  const EthernetParams params;
+  const double a = measure_pattern(Pattern::kAllToAll, 6, 64, params);
+  const double b = measure_pattern(Pattern::kAllToAll, 6, 64, params);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PatternName, Names) {
+  EXPECT_EQ(std::string(pattern_name(Pattern::kOneToAll)), "one-to-all");
+  EXPECT_EQ(std::string(pattern_name(Pattern::kAllToOne)), "all-to-one");
+  EXPECT_EQ(std::string(pattern_name(Pattern::kAllToAll)), "all-to-all");
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Multi-segment topology: intra-segment traffic stays local; inter-segment
+// traffic pays both segments plus the bridge, and heavy cross traffic no
+// longer contends with local traffic on the other segment.
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "cluster/cluster.hpp"
+#include "core/runtime.hpp"
+#include "net/network.hpp"
+#include "net/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using dlb::net::EthernetParams;
+using dlb::net::Network;
+using dlb::sim::Engine;
+using dlb::sim::from_micros;
+using dlb::sim::Mailbox;
+using dlb::sim::Process;
+using dlb::sim::SimTime;
+
+struct Fixture {
+  Engine engine;
+  Network network;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+
+  explicit Fixture(int endpoints, int segments) : network(engine, EthernetParams{}) {
+    if (segments > 1) {
+      std::vector<int> segment_of;
+      for (int i = 0; i < endpoints; ++i) {
+        segment_of.push_back(i * segments / endpoints);
+      }
+      network.set_segments(segments, segment_of, from_micros(500.0));
+    }
+    for (int i = 0; i < endpoints; ++i) {
+      boxes.push_back(std::make_unique<Mailbox>(engine));
+      network.attach(i, *boxes.back());
+    }
+  }
+};
+
+Process one_send(Fixture& f, int src, int dst) {
+  co_await f.network.send(src, dst, 1, std::any{}, 64);
+}
+
+Process one_recv(Fixture& f, int who, SimTime* at) {
+  (void)co_await f.network.receive(*f.boxes[static_cast<std::size_t>(who)], 1);
+  *at = f.engine.now();
+}
+
+TEST(Topology, DefaultIsSingleSegment) {
+  Fixture f(4, 1);
+  EXPECT_EQ(f.network.segments(), 1);
+  EXPECT_EQ(f.network.segment_of(0), 0);
+  EXPECT_EQ(f.network.segment_of(3), 0);
+}
+
+TEST(Topology, BlockAssignmentToSegments) {
+  Fixture f(4, 2);
+  EXPECT_EQ(f.network.segments(), 2);
+  EXPECT_EQ(f.network.segment_of(0), 0);
+  EXPECT_EQ(f.network.segment_of(1), 0);
+  EXPECT_EQ(f.network.segment_of(2), 1);
+  EXPECT_EQ(f.network.segment_of(3), 1);
+}
+
+TEST(Topology, CrossSegmentMessagePaysBridge) {
+  SimTime local_at = 0;
+  SimTime cross_at = 0;
+  {
+    Fixture f(4, 2);
+    f.engine.spawn(one_send(f, 0, 1));  // intra-segment
+    f.engine.spawn(one_recv(f, 1, &local_at));
+    f.engine.run();
+  }
+  {
+    Fixture f(4, 2);
+    f.engine.spawn(one_send(f, 0, 2));  // inter-segment
+    f.engine.spawn(one_recv(f, 2, &cross_at));
+    f.engine.run();
+  }
+  const EthernetParams p;
+  // Cross traffic pays a second medium occupancy (with its propagation)
+  // plus the bridge latency.
+  EXPECT_EQ(cross_at - local_at, p.medium_occupancy(64) + p.propagation + from_micros(500.0));
+}
+
+TEST(Topology, CrossingsCounted) {
+  Fixture f(4, 2);
+  f.engine.spawn(one_send(f, 0, 1));
+  f.engine.spawn(one_send(f, 0, 3));
+  SimTime a = 0;
+  SimTime b = 0;
+  f.engine.spawn(one_recv(f, 1, &a));
+  f.engine.spawn(one_recv(f, 3, &b));
+  f.engine.run();
+  EXPECT_EQ(f.network.bridge_crossings(), 1u);
+}
+
+TEST(Topology, SegmentsIsolateContention) {
+  // Two concurrent intra-segment conversations: with one shared segment the
+  // second message queues behind the first; with two segments they overlap.
+  const auto run_case = [](int segments) {
+    Fixture f(4, segments);
+    f.engine.spawn(one_send(f, 0, 1));
+    f.engine.spawn(one_send(f, 2, 3));
+    SimTime a = 0;
+    SimTime b = 0;
+    f.engine.spawn(one_recv(f, 1, &a));
+    f.engine.spawn(one_recv(f, 3, &b));
+    f.engine.run();
+    return std::max(a, b);
+  };
+  EXPECT_GT(run_case(1), run_case(2));
+}
+
+TEST(Topology, Rejections) {
+  Fixture f(4, 1);
+  EXPECT_THROW(f.network.set_segments(0, {}), std::invalid_argument);
+  EXPECT_THROW(f.network.set_segments(2, {0, 0, 2, 1}), std::invalid_argument);
+}
+
+TEST(Topology, NoReconfigurationAfterTraffic) {
+  Fixture f(2, 1);
+  SimTime at = 0;
+  f.engine.spawn(one_send(f, 0, 1));
+  f.engine.spawn(one_recv(f, 1, &at));
+  f.engine.run();
+  EXPECT_THROW(f.network.set_segments(2, {0, 1}), std::logic_error);
+}
+
+TEST(TopologyCluster, SegmentedClusterRunsDlb) {
+  dlb::cluster::ClusterParams params;
+  params.procs = 8;
+  params.base_ops_per_sec = 1e6;
+  params.external_load = true;
+  params.network_segments = 2;
+  const auto app = dlb::apps::make_uniform(64, 30e3, 64.0);
+  for (const auto strategy :
+       {dlb::core::Strategy::kGDDLB, dlb::core::Strategy::kLDDLB}) {
+    dlb::core::DlbConfig config;
+    config.strategy = strategy;
+    const auto r = dlb::core::run_app(params, app, config);
+    std::int64_t total = 0;
+    for (const auto n : r.loops[0].executed_per_proc) total += n;
+    EXPECT_EQ(total, 64);
+  }
+}
+
+TEST(TopologyCluster, LocalGroupsAlignedWithSegmentsAvoidTheBridge) {
+  dlb::cluster::ClusterParams params;
+  params.procs = 8;
+  params.base_ops_per_sec = 1e6;
+  params.external_load = true;
+  params.network_segments = 2;
+  params.seed = 3;
+  const auto app = dlb::apps::make_uniform(96, 40e3, 256.0);
+
+  dlb::core::DlbConfig local;
+  local.strategy = dlb::core::Strategy::kLDDLB;
+  local.group_size = 4;  // groups == segments (both are contiguous blocks)
+  dlb::cluster::Cluster c_local(params);
+  dlb::core::Runtime r_local(c_local, app, local);
+  (void)r_local.run();
+
+  dlb::core::DlbConfig global;
+  global.strategy = dlb::core::Strategy::kGDDLB;
+  dlb::cluster::Cluster c_global(params);
+  dlb::core::Runtime r_global(c_global, app, global);
+  (void)r_global.run();
+
+  // The aligned local scheme never crosses the bridge; the global one must.
+  EXPECT_EQ(c_local.network().bridge_crossings(), 0u);
+  EXPECT_GT(c_global.network().bridge_crossings(), 0u);
+}
+
+TEST(TopologyCluster, RejectsBadSegmentCount) {
+  dlb::cluster::ClusterParams params;
+  params.procs = 4;
+  params.network_segments = 5;
+  EXPECT_THROW(dlb::cluster::Cluster{params}, std::invalid_argument);
+}
+
+}  // namespace

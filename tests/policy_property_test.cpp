@@ -1,0 +1,153 @@
+// Fuzzed invariants of the pure policy pipeline (Eq. 3 distribution,
+// thresholds, profitability, transfer planning) over thousands of random
+// profile sets.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dlb::core::analyze_profitability;
+using dlb::core::compute_distribution;
+using dlb::core::decide;
+using dlb::core::DlbConfig;
+using dlb::core::plan_transfers;
+using dlb::core::ProfileSnapshot;
+using dlb::core::work_to_move;
+using dlb::support::Rng;
+
+std::vector<ProfileSnapshot> random_profiles(Rng& rng, int max_procs = 20) {
+  const int procs = static_cast<int>(rng.uniform_int(1, max_procs));
+  std::vector<ProfileSnapshot> out;
+  bool any_active = false;
+  for (int i = 0; i < procs; ++i) {
+    ProfileSnapshot p;
+    p.proc = i;
+    p.rate = 0.01 + rng.uniform(0.0, 10.0);
+    p.active = rng.uniform01() < 0.9;
+    // Protocol invariant: only active processors hold work.
+    p.remaining = p.active ? rng.uniform_int(0, 500) : 0;
+    any_active = any_active || p.active;
+    out.push_back(p);
+  }
+  if (!any_active) out[0].active = true;
+  return out;
+}
+
+TEST(PolicyContract, InactiveProcessorHoldingWorkRejected) {
+  std::vector<ProfileSnapshot> profiles{{0, 10, 1.0, true}, {1, 5, 1.0, false}};
+  EXPECT_THROW((void)compute_distribution(profiles), std::invalid_argument);
+}
+
+TEST(PolicyFuzz, DistributionInvariants) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto profiles = random_profiles(rng);
+    const auto assignment = compute_distribution(profiles);
+
+    // Sum preserved exactly, nothing negative, inactive get nothing.
+    std::int64_t total = 0;
+    for (const auto& p : profiles) total += p.remaining;
+    std::int64_t assigned = 0;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      EXPECT_GE(assignment[i], 0);
+      if (!profiles[i].active) {
+        EXPECT_EQ(assignment[i], 0);
+      }
+      assigned += assignment[i];
+    }
+    ASSERT_EQ(assigned, total) << "trial " << trial;
+
+    // Proportionality: each active share is within one of its real share.
+    double weight_sum = 0.0;
+    for (const auto& p : profiles) {
+      if (p.active) weight_sum += p.rate;
+    }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (!profiles[i].active) continue;
+      const double ideal = static_cast<double>(total) * profiles[i].rate / weight_sum;
+      EXPECT_NEAR(static_cast<double>(assignment[i]), ideal, 1.0 + 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PolicyFuzz, TransferPlanInvariants) {
+  Rng rng(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto profiles = random_profiles(rng);
+    const auto assignment = compute_distribution(profiles);
+    const auto transfers = plan_transfers(profiles, assignment);
+
+    std::vector<std::int64_t> state;
+    for (const auto& p : profiles) state.push_back(p.remaining);
+    for (const auto& t : transfers) {
+      EXPECT_NE(t.from, t.to);
+      EXPECT_GT(t.count, 0);
+      state[static_cast<std::size_t>(t.from)] -= t.count;
+      state[static_cast<std::size_t>(t.to)] += t.count;
+      EXPECT_GE(state[static_cast<std::size_t>(t.from)], 0) << "oversent in trial " << trial;
+    }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      ASSERT_EQ(state[i], assignment[i]) << "trial " << trial;
+    }
+    // nu(j) is at most (pairs of surplus/deficit processors) - 1 merges:
+    // a greedy two-pointer plan never exceeds n - 1 transfers.
+    EXPECT_LE(transfers.size(), profiles.size());
+  }
+}
+
+TEST(PolicyFuzz, WorkToMoveMatchesTransferVolume) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto profiles = random_profiles(rng);
+    const auto assignment = compute_distribution(profiles);
+    const auto transfers = plan_transfers(profiles, assignment);
+    std::int64_t shipped = 0;
+    for (const auto& t : transfers) shipped += t.count;
+    EXPECT_EQ(shipped, work_to_move(profiles, assignment)) << "trial " << trial;
+  }
+}
+
+TEST(PolicyFuzz, ProfitabilityNeverWorsensPredictedFinish) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto profiles = random_profiles(rng);
+    const auto assignment = compute_distribution(profiles);
+    const auto result = analyze_profitability(profiles, assignment, 0.10);
+    // A rate-proportional assignment can never have a worse predicted finish
+    // than the status quo (it is the minimizer of max remaining/rate).
+    EXPECT_LE(result.balanced_finish_seconds, result.current_finish_seconds + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(PolicyFuzz, DecideInternallyConsistent) {
+  Rng rng(555);
+  DlbConfig config;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto profiles = random_profiles(rng);
+    const auto d = decide(profiles, config);
+    if (d.moved) {
+      EXPECT_FALSE(d.transfers.empty());
+      EXPECT_GT(d.to_move, 0);
+      EXPECT_TRUE(d.profitability.profitable);
+    } else {
+      EXPECT_TRUE(d.transfers.empty());
+    }
+    // Newly inactive processors end the round with no work.
+    for (const int p : d.newly_inactive) {
+      const auto& snap = profiles[static_cast<std::size_t>(p)];
+      EXPECT_TRUE(snap.active);
+      const std::int64_t left = d.moved ? d.assignment[static_cast<std::size_t>(p)]
+                                        : snap.remaining;
+      EXPECT_EQ(left, 0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dlb::support::Cli;
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--procs=16", "--verbose", "positional"};
+  const Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("procs", 0), 16);
+  EXPECT_TRUE(cli.has("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("x"));
+  EXPECT_EQ(cli.get("x", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("x", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, ParsesDoubles) {
+  const char* argv[] = {"prog", "--t=1.25"};
+  const Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("t", 0.0), 1.25);
+}
+
+TEST(Cli, EmptyValueAllowed) {
+  const char* argv[] = {"prog", "--name="};
+  const Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("name"));
+  EXPECT_EQ(cli.get("name", "z"), "");
+}
+
+}  // namespace

@@ -1,0 +1,42 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using dlb::support::csv_escape;
+using dlb::support::CsvWriter;
+
+TEST(CsvEscape, PlainCellsUntouched) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesCellsWithSeparators) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  w.write_row({"1", "2,3", "4"});
+  EXPECT_EQ(os.str(), "a,b,c\n1,\"2,3\",4\n");
+}
+
+TEST(CsvWriter, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "support/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using dlb::support::polyfit;
+using dlb::support::Polynomial;
+using dlb::support::r_squared;
+using dlb::support::solve_linear;
+
+TEST(SolveLinear, Identity) {
+  const auto x = solve_linear({1, 0, 0, 1}, {3, 4});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // First pivot is zero; succeeds only with row exchange.
+  const auto x = solve_linear({0, 1, 1, 0}, {5, 7});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(SolveLinear, ThrowsOnSingular) {
+  EXPECT_THROW((void)solve_linear({1, 2, 2, 4}, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinear, ThrowsOnDimensionMismatch) {
+  EXPECT_THROW((void)solve_linear({1, 2, 3}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  // y = 2 + 3x + 0.5x^2
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(2.0 + 3.0 * x + 0.5 * x * x);
+  }
+  const Polynomial p = polyfit(xs, ys, 2);
+  ASSERT_EQ(p.coefficients().size(), 3u);
+  EXPECT_NEAR(p.coefficients()[0], 2.0, 1e-8);
+  EXPECT_NEAR(p.coefficients()[1], 3.0, 1e-8);
+  EXPECT_NEAR(p.coefficients()[2], 0.5, 1e-8);
+}
+
+TEST(Polyfit, RecoversLineWithOverfitDegree) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 2; i <= 16; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(0.01 * static_cast<double>(i) + 0.001);
+  }
+  const Polynomial p = polyfit(xs, ys, 2);
+  EXPECT_NEAR(p.coefficients()[2], 0.0, 1e-10);  // no spurious curvature
+  EXPECT_NEAR(p(8.0), 0.081, 1e-9);
+}
+
+TEST(Polyfit, LeastSquaresOnNoisyData) {
+  // Symmetric noise around y = x should fit slope ~1.
+  std::vector<double> xs{1, 1, 2, 2, 3, 3, 4, 4};
+  std::vector<double> ys{0.9, 1.1, 1.9, 2.1, 2.9, 3.1, 3.9, 4.1};
+  const Polynomial p = polyfit(xs, ys, 1);
+  EXPECT_NEAR(p.coefficients()[1], 1.0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[0], 0.0, 1e-9);
+}
+
+TEST(Polyfit, ThrowsOnTooFewSamples) {
+  std::vector<double> xs{1.0, 2.0};
+  std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)polyfit(xs, ys, 2), std::invalid_argument);
+}
+
+TEST(Polyfit, ThrowsOnSizeMismatch) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)polyfit(xs, ys, 1), std::invalid_argument);
+}
+
+TEST(Polynomial, EvaluatesHornerCorrectly) {
+  const Polynomial p(std::vector<double>{1.0, -2.0, 3.0});  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 6.0);
+}
+
+TEST(Polynomial, EmptyIsZero) {
+  const Polynomial p;
+  EXPECT_DOUBLE_EQ(p(123.0), 0.0);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  const Polynomial p = polyfit(xs, ys, 1);
+  EXPECT_NEAR(r_squared(p, xs, ys), 1.0, 1e-12);
+}
+
+TEST(RSquared, WorseFitIsLower) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  std::vector<double> ys{1, 4, 9, 16, 25, 36};  // quadratic data
+  const Polynomial line = polyfit(xs, ys, 1);
+  const Polynomial quad = polyfit(xs, ys, 2);
+  EXPECT_LT(r_squared(line, xs, ys), r_squared(quad, xs, ys));
+  EXPECT_NEAR(r_squared(quad, xs, ys), 1.0, 1e-10);
+}
+
+}  // namespace

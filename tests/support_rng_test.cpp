@@ -1,0 +1,103 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace {
+
+using dlb::support::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  const Rng root(42);
+  Rng s0 = root.fork(0);
+  Rng s1 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.next() == s1.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng root(42);
+  Rng a = root.fork(3);
+  Rng b = root.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(123);
+  std::vector<int> counts(6, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 6.0, kDraws * 0.01);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using dlb::support::summarize;
+
+TEST(Summary, BasicMoments) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stdev, 1.5811388, 1e-6);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summary, EvenCountMedianAverages) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(summarize(v).median, 2.5);
+}
+
+TEST(Summary, SingleElement) {
+  std::vector<double> v{7.5};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+}
+
+TEST(Summary, ThrowsOnEmpty) {
+  std::vector<double> v;
+  EXPECT_THROW((void)summarize(v), std::invalid_argument);
+}
+
+TEST(Summary, UnsortedInputHandled) {
+  std::vector<double> v{5, 1, 3};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+}  // namespace

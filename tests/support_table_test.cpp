@@ -1,0 +1,62 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace {
+
+using dlb::support::fmt_fixed;
+using dlb::support::fmt_sig;
+using dlb::support::Table;
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RuleProducesSeparator) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // header rule + top + bottom + explicit = 4 dashes lines
+  int rules = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FmtFixed, FormatsDecimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 3), "2.000");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(FmtSig, FormatsSignificant) {
+  EXPECT_EQ(fmt_sig(0.000123456, 3), "0.000123");
+  EXPECT_EQ(fmt_sig(123456.0, 3), "1.23e+05");
+}
+
+}  // namespace
