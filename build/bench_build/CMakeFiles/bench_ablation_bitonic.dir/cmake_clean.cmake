@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bitonic"
+  "../bench/bench_ablation_bitonic.pdb"
+  "CMakeFiles/bench_ablation_bitonic.dir/bench_ablation_bitonic.cpp.o"
+  "CMakeFiles/bench_ablation_bitonic.dir/bench_ablation_bitonic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_load.cpp" "bench_build/CMakeFiles/bench_ablation_load.dir/bench_ablation_load.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablation_load.dir/bench_ablation_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/dlb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dlb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/dlb_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

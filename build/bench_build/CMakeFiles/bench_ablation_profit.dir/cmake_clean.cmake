@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_profit"
+  "../bench/bench_ablation_profit.pdb"
+  "CMakeFiles/bench_ablation_profit.dir/bench_ablation_profit.cpp.o"
+  "CMakeFiles/bench_ablation_profit.dir/bench_ablation_profit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_profit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

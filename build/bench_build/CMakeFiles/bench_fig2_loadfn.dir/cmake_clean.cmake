@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_loadfn"
+  "../bench/bench_fig2_loadfn.pdb"
+  "CMakeFiles/bench_fig2_loadfn.dir/bench_fig2_loadfn.cpp.o"
+  "CMakeFiles/bench_fig2_loadfn.dir/bench_fig2_loadfn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_loadfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_netchar"
+  "../bench/bench_fig4_netchar.pdb"
+  "CMakeFiles/bench_fig4_netchar.dir/bench_fig4_netchar.cpp.o"
+  "CMakeFiles/bench_fig4_netchar.dir/bench_fig4_netchar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_netchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_mxm_model"
+  "../bench/bench_table1_mxm_model.pdb"
+  "CMakeFiles/bench_table1_mxm_model.dir/bench_table1_mxm_model.cpp.o"
+  "CMakeFiles/bench_table1_mxm_model.dir/bench_table1_mxm_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mxm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_trfd_model.
+# This may be replaced when dependencies are built.

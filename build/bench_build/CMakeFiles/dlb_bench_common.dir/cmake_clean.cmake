@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dlb_bench_common.dir/bench_common.cpp.o.d"
+  "libdlb_bench_common.a"
+  "libdlb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_to_run.dir/annotated_to_run.cpp.o"
+  "CMakeFiles/annotated_to_run.dir/annotated_to_run.cpp.o.d"
+  "annotated_to_run"
+  "annotated_to_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_to_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

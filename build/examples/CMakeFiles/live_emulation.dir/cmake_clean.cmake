@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_emulation.dir/live_emulation.cpp.o"
+  "CMakeFiles/live_emulation.dir/live_emulation.cpp.o.d"
+  "live_emulation"
+  "live_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

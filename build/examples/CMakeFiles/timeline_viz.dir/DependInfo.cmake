@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/timeline_viz.cpp" "examples/CMakeFiles/timeline_viz.dir/timeline_viz.cpp.o" "gcc" "examples/CMakeFiles/timeline_viz.dir/timeline_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/dlb_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

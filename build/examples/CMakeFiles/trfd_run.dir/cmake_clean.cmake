@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trfd_run.dir/trfd_run.cpp.o"
+  "CMakeFiles/trfd_run.dir/trfd_run.cpp.o.d"
+  "trfd_run"
+  "trfd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trfd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

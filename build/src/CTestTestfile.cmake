@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("net")
+subdirs("load")
+subdirs("cluster")
+subdirs("core")
+subdirs("model")
+subdirs("decision")
+subdirs("apps")
+subdirs("sched")
+subdirs("codegen")
+subdirs("emu")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_apps.dir/mxm.cpp.o"
+  "CMakeFiles/dlb_apps.dir/mxm.cpp.o.d"
+  "CMakeFiles/dlb_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/dlb_apps.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dlb_apps.dir/trfd.cpp.o"
+  "CMakeFiles/dlb_apps.dir/trfd.cpp.o.d"
+  "libdlb_apps.a"
+  "libdlb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dlb_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/dlb_cluster.dir/workstation.cpp.o"
+  "CMakeFiles/dlb_cluster.dir/workstation.cpp.o.d"
+  "libdlb_cluster.a"
+  "libdlb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_codegen.dir/compile.cpp.o"
+  "CMakeFiles/dlb_codegen.dir/compile.cpp.o.d"
+  "CMakeFiles/dlb_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/dlb_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/dlb_codegen.dir/lexer.cpp.o"
+  "CMakeFiles/dlb_codegen.dir/lexer.cpp.o.d"
+  "CMakeFiles/dlb_codegen.dir/parser.cpp.o"
+  "CMakeFiles/dlb_codegen.dir/parser.cpp.o.d"
+  "CMakeFiles/dlb_codegen.dir/symexpr.cpp.o"
+  "CMakeFiles/dlb_codegen.dir/symexpr.cpp.o.d"
+  "libdlb_codegen.a"
+  "libdlb_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/groups.cpp" "src/core/CMakeFiles/dlb_core.dir/groups.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/groups.cpp.o.d"
+  "/root/repo/src/core/ownership.cpp" "src/core/CMakeFiles/dlb_core.dir/ownership.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/ownership.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/dlb_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/dlb_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dlb_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/run_stats.cpp" "src/core/CMakeFiles/dlb_core.dir/run_stats.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/run_stats.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/dlb_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/dlb_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/dlb_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dlb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/dlb_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

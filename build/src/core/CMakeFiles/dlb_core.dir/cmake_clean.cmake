@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_core.dir/groups.cpp.o"
+  "CMakeFiles/dlb_core.dir/groups.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/ownership.cpp.o"
+  "CMakeFiles/dlb_core.dir/ownership.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/policy.cpp.o"
+  "CMakeFiles/dlb_core.dir/policy.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/protocol.cpp.o"
+  "CMakeFiles/dlb_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/report.cpp.o"
+  "CMakeFiles/dlb_core.dir/report.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/run_stats.cpp.o"
+  "CMakeFiles/dlb_core.dir/run_stats.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/runtime.cpp.o"
+  "CMakeFiles/dlb_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/trace.cpp.o"
+  "CMakeFiles/dlb_core.dir/trace.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/types.cpp.o"
+  "CMakeFiles/dlb_core.dir/types.cpp.o.d"
+  "libdlb_core.a"
+  "libdlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

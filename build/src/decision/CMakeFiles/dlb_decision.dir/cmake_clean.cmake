@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_decision.dir/selector.cpp.o"
+  "CMakeFiles/dlb_decision.dir/selector.cpp.o.d"
+  "libdlb_decision.a"
+  "libdlb_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_emu.dir/channel.cpp.o"
+  "CMakeFiles/dlb_emu.dir/channel.cpp.o.d"
+  "CMakeFiles/dlb_emu.dir/emulator.cpp.o"
+  "CMakeFiles/dlb_emu.dir/emulator.cpp.o.d"
+  "libdlb_emu.a"
+  "libdlb_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_load.dir/load_function.cpp.o"
+  "CMakeFiles/dlb_load.dir/load_function.cpp.o.d"
+  "libdlb_load.a"
+  "libdlb_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_model.dir/predictor.cpp.o"
+  "CMakeFiles/dlb_model.dir/predictor.cpp.o.d"
+  "libdlb_model.a"
+  "libdlb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

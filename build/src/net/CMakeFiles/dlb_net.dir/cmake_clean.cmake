@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_net.dir/characterize.cpp.o"
+  "CMakeFiles/dlb_net.dir/characterize.cpp.o.d"
+  "CMakeFiles/dlb_net.dir/ethernet.cpp.o"
+  "CMakeFiles/dlb_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/dlb_net.dir/network.cpp.o"
+  "CMakeFiles/dlb_net.dir/network.cpp.o.d"
+  "CMakeFiles/dlb_net.dir/patterns.cpp.o"
+  "CMakeFiles/dlb_net.dir/patterns.cpp.o.d"
+  "libdlb_net.a"
+  "libdlb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

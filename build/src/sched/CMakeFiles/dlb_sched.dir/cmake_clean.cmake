@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_sched.dir/chunk_policy.cpp.o"
+  "CMakeFiles/dlb_sched.dir/chunk_policy.cpp.o.d"
+  "CMakeFiles/dlb_sched.dir/task_queue.cpp.o"
+  "CMakeFiles/dlb_sched.dir/task_queue.cpp.o.d"
+  "CMakeFiles/dlb_sched.dir/work_stealing.cpp.o"
+  "CMakeFiles/dlb_sched.dir/work_stealing.cpp.o.d"
+  "libdlb_sched.a"
+  "libdlb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_sim.dir/engine.cpp.o"
+  "CMakeFiles/dlb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dlb_sim.dir/mailbox.cpp.o"
+  "CMakeFiles/dlb_sim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/dlb_sim.dir/resource.cpp.o"
+  "CMakeFiles/dlb_sim.dir/resource.cpp.o.d"
+  "libdlb_sim.a"
+  "libdlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

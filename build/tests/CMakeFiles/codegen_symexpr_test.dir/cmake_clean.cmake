@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_symexpr_test.dir/codegen_symexpr_test.cpp.o"
+  "CMakeFiles/codegen_symexpr_test.dir/codegen_symexpr_test.cpp.o.d"
+  "codegen_symexpr_test"
+  "codegen_symexpr_test.pdb"
+  "codegen_symexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_symexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

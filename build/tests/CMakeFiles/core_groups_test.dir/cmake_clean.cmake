@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_groups_test.dir/core_groups_test.cpp.o"
+  "CMakeFiles/core_groups_test.dir/core_groups_test.cpp.o.d"
+  "core_groups_test"
+  "core_groups_test.pdb"
+  "core_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ownership_test.dir/core_ownership_test.cpp.o"
+  "CMakeFiles/core_ownership_test.dir/core_ownership_test.cpp.o.d"
+  "core_ownership_test"
+  "core_ownership_test.pdb"
+  "core_ownership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ownership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_selector_test.dir/decision_selector_test.cpp.o"
+  "CMakeFiles/decision_selector_test.dir/decision_selector_test.cpp.o.d"
+  "decision_selector_test"
+  "decision_selector_test.pdb"
+  "decision_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

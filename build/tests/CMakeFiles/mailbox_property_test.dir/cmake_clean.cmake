@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailbox_property_test.dir/mailbox_property_test.cpp.o"
+  "CMakeFiles/mailbox_property_test.dir/mailbox_property_test.cpp.o.d"
+  "mailbox_property_test"
+  "mailbox_property_test.pdb"
+  "mailbox_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailbox_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

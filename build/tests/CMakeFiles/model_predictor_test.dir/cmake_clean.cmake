@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_predictor_test.dir/model_predictor_test.cpp.o"
+  "CMakeFiles/model_predictor_test.dir/model_predictor_test.cpp.o.d"
+  "model_predictor_test"
+  "model_predictor_test.pdb"
+  "model_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_stealing_test.dir/sched_stealing_test.cpp.o"
+  "CMakeFiles/sched_stealing_test.dir/sched_stealing_test.cpp.o.d"
+  "sched_stealing_test"
+  "sched_stealing_test.pdb"
+  "sched_stealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_stealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_polyfit_test.dir/support_polyfit_test.cpp.o"
+  "CMakeFiles/support_polyfit_test.dir/support_polyfit_test.cpp.o.d"
+  "support_polyfit_test"
+  "support_polyfit_test.pdb"
+  "support_polyfit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_polyfit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
