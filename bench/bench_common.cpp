@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "core/runtime.hpp"
+#include "exp/grid.hpp"
+#include "exp/runner.hpp"
 #include "model/predictor.hpp"
 #include "support/csv.hpp"
 #include "support/ranking.hpp"
@@ -173,7 +175,59 @@ BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
   args.seeds = static_cast<int>(cli.get_int("seeds", 3));
   args.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
+  args.threads = static_cast<int>(cli.get_int("threads", 0));
   return args;
+}
+
+std::vector<FigureRow> measure_figure(const cluster::ClusterParams& base,
+                                      std::vector<FigureSpec> specs, const BenchArgs& args) {
+  exp::ExperimentGrid grid;
+  grid.cluster_template = base;
+  grid.procs = {base.procs};
+  grid.strategies = figure_strategies();
+  grid.max_loads = {base.external_load ? base.load.max_load : 0};
+  grid.seeds = args.seeds;
+  grid.seed0 = args.seed0;
+  for (auto& spec : specs) {
+    exp::AppSpec app;
+    app.name = spec.label;
+    app.app = std::move(spec.app);
+    app.base_ops_per_sec = base.base_ops_per_sec;
+    app.default_tl_seconds = sim::to_seconds(base.load.persistence);
+    grid.apps.push_back(std::move(app));
+  }
+
+  exp::RunnerOptions options;
+  options.threads = args.threads;
+  const auto sweep = exp::Runner(options).run(grid);
+
+  // Fold the canonical cell order (app outer, strategy, seed inner; the
+  // procs/tl/m_l axes are singletons) into figure rows, averaging exactly
+  // the way measure_scheme does.
+  std::vector<FigureRow> rows;
+  const auto& strategies = figure_strategies();
+  std::size_t cell = 0;
+  for (const auto& app : grid.apps) {
+    FigureRow row;
+    row.label = app.name;
+    for (const auto strategy : strategies) {
+      SchemeResult scheme;
+      scheme.strategy = strategy;
+      std::vector<double> times;
+      for (int s = 0; s < args.seeds; ++s, ++cell) {
+        const auto& result = sweep.cells[cell].result;
+        times.push_back(result.exec_seconds);
+        scheme.mean_syncs += result.total_syncs();
+        scheme.mean_moved += static_cast<double>(result.total_iterations_moved());
+      }
+      scheme.mean_seconds = support::mean_of(times);
+      scheme.mean_syncs /= args.seeds;
+      scheme.mean_moved /= args.seeds;
+      row.schemes.push_back(scheme);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace dlb::bench

@@ -36,6 +36,7 @@ struct SchemeResult {
                                           core::Strategy strategy, int seeds,
                                           std::uint64_t seed0, int loop_index = -1);
 
+
 /// Prints one figure group: normalized mean execution times of the five
 /// schemes (normalized to NoDLB, like the paper's bar charts) and emits a
 /// machine-readable CSV block after the table.
@@ -65,11 +66,27 @@ void print_order_table(std::ostream& os, const std::string& title,
 /// Shared network characterization (computed once per process).
 [[nodiscard]] const net::CollectiveCosts& shared_costs();
 
-/// Common CLI knobs: --seeds, --seed0.
+/// Common CLI knobs: --seeds, --seed0, --threads (0 = hardware).
 struct BenchArgs {
   int seeds = 3;
   std::uint64_t seed0 = 1000;
+  int threads = 0;
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+/// One figure configuration: a labelled app measured on a common cluster.
+struct FigureSpec {
+  std::string label;
+  core::AppDescriptor app;
+};
+
+/// Runs a whole figure as a single exp::Runner sweep — the grid
+/// configs x {NoDLB, GC, GD, LC, LD} x seeds on `args.threads` pool
+/// threads — and folds the merged cells into FigureRows in config order.
+/// Produces exactly the numbers of the per-scheme measure_scheme loop
+/// (same seeds, same cluster), just batched through the parallel harness.
+[[nodiscard]] std::vector<FigureRow> measure_figure(const cluster::ClusterParams& base,
+                                                    std::vector<FigureSpec> specs,
+                                                    const BenchArgs& args);
 
 }  // namespace dlb::bench

@@ -3,6 +3,9 @@
 // schemes.  Expected shape (paper §6.2): every DLB scheme beats NoDLB;
 // GDDLB best, GCDLB a close second; distributed beats centralized; globals
 // beat locals.
+//
+// The 4 configs x 5 schemes x seeds cells run as one exp::Runner sweep
+// (--threads picks the pool width; output is identical for any value).
 
 #include <iostream>
 
@@ -16,18 +19,13 @@ int main(int argc, char** argv) {
   const apps::MxmParams configs[] = {
       {400, 400, 400}, {400, 800, 400}, {800, 400, 400}, {800, 800, 400}};
 
-  std::vector<bench::FigureRow> rows;
+  std::vector<bench::FigureSpec> specs;
   for (const auto& mxm : configs) {
-    bench::FigureRow row;
-    row.label = "R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
-                ",R2=" + std::to_string(mxm.R2);
-    const auto app = apps::make_mxm(mxm);
-    for (const auto strategy : bench::figure_strategies()) {
-      row.schemes.push_back(bench::measure_scheme(bench::mxm_cluster(4), app, strategy,
-                                                  args.seeds, args.seed0));
-    }
-    rows.push_back(std::move(row));
+    specs.push_back({"R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
+                         ",R2=" + std::to_string(mxm.R2),
+                     apps::make_mxm(mxm)});
   }
+  const auto rows = bench::measure_figure(bench::mxm_cluster(4), std::move(specs), args);
   bench::print_figure(std::cout, "Figure 5: MXM (P=4), " + std::to_string(args.seeds) +
                                      " load seeds",
                       rows);

@@ -1,6 +1,9 @@
 // Figure 6: MXM normalized execution time on P = 16 (R scaled so R/P = 100
 // or 200, as in the paper).  Expected shape (§6.2): same ordering as P = 4
 // but with a smaller gap between the global and local schemes.
+//
+// The 4 configs x 5 schemes x seeds cells run as one exp::Runner sweep
+// (--threads picks the pool width; output is identical for any value).
 
 #include <iostream>
 
@@ -14,18 +17,13 @@ int main(int argc, char** argv) {
   const apps::MxmParams configs[] = {
       {1600, 400, 400}, {1600, 800, 400}, {3200, 400, 400}, {3200, 800, 400}};
 
-  std::vector<bench::FigureRow> rows;
+  std::vector<bench::FigureSpec> specs;
   for (const auto& mxm : configs) {
-    bench::FigureRow row;
-    row.label = "R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
-                ",R2=" + std::to_string(mxm.R2);
-    const auto app = apps::make_mxm(mxm);
-    for (const auto strategy : bench::figure_strategies()) {
-      row.schemes.push_back(bench::measure_scheme(bench::mxm_cluster(16), app, strategy,
-                                                  args.seeds, args.seed0));
-    }
-    rows.push_back(std::move(row));
+    specs.push_back({"R=" + std::to_string(mxm.R) + ",C=" + std::to_string(mxm.C) +
+                         ",R2=" + std::to_string(mxm.R2),
+                     apps::make_mxm(mxm)});
   }
+  const auto rows = bench::measure_figure(bench::mxm_cluster(16), std::move(specs), args);
   bench::print_figure(std::cout, "Figure 6: MXM (P=16), " + std::to_string(args.seeds) +
                                      " load seeds",
                       rows);

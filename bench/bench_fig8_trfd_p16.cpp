@@ -2,6 +2,9 @@
 // Expected shape (§6.3): the local distributed scheme is best (the
 // computation/communication ratio is small, so the cheaper within-group
 // synchronization wins), distributed beats centralized.
+//
+// The 3 sizes x 5 schemes x seeds cells run as one exp::Runner sweep
+// (--threads picks the pool width; output is identical for any value).
 
 #include <iostream>
 
@@ -12,17 +15,13 @@ int main(int argc, char** argv) {
   using namespace dlb;
   const auto args = bench::parse_bench_args(argc, argv);
 
-  std::vector<bench::FigureRow> rows;
+  std::vector<bench::FigureSpec> specs;
   for (const int n : {30, 40, 50}) {
-    bench::FigureRow row;
-    row.label = "N=" + std::to_string(n) + " (" + std::to_string(apps::trfd_array_dim(n)) + ")";
-    const auto app = apps::make_trfd({n});
-    for (const auto strategy : bench::figure_strategies()) {
-      row.schemes.push_back(bench::measure_scheme(bench::trfd_cluster(16), app, strategy,
-                                                  args.seeds, args.seed0));
-    }
-    rows.push_back(std::move(row));
+    specs.push_back({"N=" + std::to_string(n) + " (" + std::to_string(apps::trfd_array_dim(n)) +
+                         ")",
+                     apps::make_trfd({n})});
   }
+  const auto rows = bench::measure_figure(bench::trfd_cluster(16), std::move(specs), args);
   bench::print_figure(std::cout, "Figure 8: TRFD (P=16), " + std::to_string(args.seeds) +
                                      " load seeds",
                       rows);

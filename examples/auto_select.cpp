@@ -5,6 +5,11 @@
 //
 //   ./auto_select [--app=mxm|trfd] [--procs=4] [--seed=42] [--tl=4.0]
 //                 [--rate=3e6] [--n=30] [--R=400] [--C=400] [--R2=400]
+//                 [--threads=0]
+//
+// The four verification runs execute as one exp::Runner sweep on a pool of
+// --threads workers (0 = hardware); results come back in strategy order
+// regardless of which finishes first.
 
 #include <iostream>
 #include <string>
@@ -15,6 +20,8 @@
 #include "cluster/cluster.hpp"
 #include "core/runtime.hpp"
 #include "decision/selector.hpp"
+#include "exp/grid.hpp"
+#include "exp/runner.hpp"
 #include "net/characterize.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -60,12 +67,27 @@ int main(int argc, char** argv) {
   std::cout << "\ncommitted strategy: " << core::strategy_name(selection.chosen) << "\n\n";
 
   std::cout << "Actual runs (same load realization):\n\n";
+  exp::ExperimentGrid grid;
+  grid.cluster_template = params;
+  grid.procs = {params.procs};
+  grid.strategies = exp::parse_strategies("ranked");
+  grid.max_loads = {params.load.max_load};
+  grid.seeds = 1;
+  grid.seed0 = params.seed;
+  exp::AppSpec app_spec;
+  app_spec.name = app.name;
+  app_spec.app = app;
+  app_spec.base_ops_per_sec = params.base_ops_per_sec;
+  app_spec.default_tl_seconds = sim::to_seconds(params.load.persistence);
+  grid.apps.push_back(std::move(app_spec));
+
+  exp::RunnerOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads", 0));
+  const auto sweep = exp::Runner(options).run(grid);
+
   support::Table actual({"strategy", "measured [s]"});
-  for (int id = 0; id < core::kRankedStrategyCount; ++id) {
-    core::DlbConfig run_config;
-    run_config.strategy = core::ranked_strategy(id);
-    const auto result = core::run_app(params, app, run_config);
-    actual.add_row({result.strategy_name, support::fmt_fixed(result.exec_seconds, 3)});
+  for (const auto& cell : sweep.cells) {
+    actual.add_row({cell.result.strategy_name, support::fmt_fixed(cell.result.exec_seconds, 3)});
   }
   actual.print(std::cout);
   return 0;

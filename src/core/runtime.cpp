@@ -16,6 +16,11 @@ Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
     throw std::invalid_argument(
         "Runtime: Strategy::kAuto is resolved by decision::Selector before running");
   }
+  if (cluster_.engine().events_executed() != 0 || cluster_.engine().now() != 0) {
+    throw std::logic_error(
+        "Runtime: cluster already consumed (its engine has executed events); a Cluster/Engine "
+        "pair is single-run — build a fresh Cluster for every run");
+  }
   if (config_.record_trace) trace_ = std::make_shared<Trace>();
 }
 

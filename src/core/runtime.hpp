@@ -15,10 +15,13 @@ namespace dlb::core {
 /// statistics the paper's master gathers (synchronizations, redistributions,
 /// work moved).
 ///
-/// A Runtime consumes a *fresh* cluster (virtual time 0); run() may be
-/// called once.  To compare strategies, build one cluster per run with the
-/// same seed: the external-load realizations are identical, which is how the
-/// paper compares schemes under the same load.
+/// A Runtime consumes a *fresh* cluster (virtual time 0, no events executed);
+/// the constructor enforces this and run() may be called once.  To compare
+/// strategies, build one cluster per run with the same seed: the
+/// external-load realizations are identical, which is how the paper compares
+/// schemes under the same load.  Distinct Cluster/Runtime pairs share no
+/// mutable state, so independent runs may execute concurrently on different
+/// threads (see exp::Runner).
 class Runtime {
  public:
   Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config);

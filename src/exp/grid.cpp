@@ -1,0 +1,222 @@
+#include "exp/grid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/mxm.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/trfd.hpp"
+
+namespace dlb::exp {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& spec) {
+  std::vector<std::string> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+core::Strategy strategy_from_label(const std::string& label) {
+  if (label == "nodlb" || label == "none") return core::Strategy::kNoDlb;
+  if (label == "gc") return core::Strategy::kGCDLB;
+  if (label == "gd") return core::Strategy::kGDDLB;
+  if (label == "lc") return core::Strategy::kLCDLB;
+  if (label == "ld") return core::Strategy::kLDDLB;
+  throw std::invalid_argument("parse_strategies: unknown strategy '" + label +
+                              "' (expected nodlb|gc|gd|lc|ld)");
+}
+
+}  // namespace
+
+void ExperimentGrid::validate() const {
+  if (apps.empty()) throw std::invalid_argument("ExperimentGrid: no apps");
+  if (procs.empty()) throw std::invalid_argument("ExperimentGrid: no processor counts");
+  if (strategies.empty()) throw std::invalid_argument("ExperimentGrid: no strategies");
+  if (max_loads.empty()) throw std::invalid_argument("ExperimentGrid: no load amplitudes");
+  if (seeds <= 0) throw std::invalid_argument("ExperimentGrid: seeds must be positive");
+  for (const auto& a : apps) a.app.validate();
+  for (const auto p : procs) {
+    if (p <= 0) throw std::invalid_argument("ExperimentGrid: procs must be positive");
+  }
+  for (const auto s : strategies) {
+    if (s == core::Strategy::kAuto) {
+      throw std::invalid_argument(
+          "ExperimentGrid: Strategy::kAuto is resolved by decision::Selector, not swept");
+    }
+  }
+}
+
+std::size_t ExperimentGrid::cell_count() const noexcept {
+  return apps.size() * procs.size() * tl_points() * max_loads.size() * strategies.size() *
+         static_cast<std::size_t>(seeds);
+}
+
+CellSpec ExperimentGrid::cell(std::size_t index) const {
+  if (index >= cell_count()) throw std::out_of_range("ExperimentGrid::cell: index");
+
+  // Row-major decode: app, procs, tl, max_load, strategy, seed (innermost).
+  CellSpec c;
+  c.index = index;
+  std::size_t rest = index;
+  c.seed_i = rest % static_cast<std::size_t>(seeds);
+  rest /= static_cast<std::size_t>(seeds);
+  c.strat_i = rest % strategies.size();
+  rest /= strategies.size();
+  c.load_i = rest % max_loads.size();
+  rest /= max_loads.size();
+  c.tl_i = rest % tl_points();
+  rest /= tl_points();
+  c.proc_i = rest % procs.size();
+  rest /= procs.size();
+  c.app_i = rest;
+
+  const AppSpec& spec = apps[c.app_i];
+  c.app_name = spec.name;
+  c.tl_seconds = tl_seconds.empty() ? spec.default_tl_seconds : tl_seconds[c.tl_i];
+
+  c.params = cluster_template;
+  c.params.procs = procs[c.proc_i];
+  c.params.base_ops_per_sec = spec.base_ops_per_sec;
+  c.params.load.max_load = max_loads[c.load_i];
+  c.params.load.persistence = sim::from_seconds(c.tl_seconds);
+  c.params.external_load = max_loads[c.load_i] > 0;
+  c.params.seed = seed0 + c.seed_i;
+
+  c.config = config;
+  c.config.strategy = strategies[c.strat_i];
+  c.loop_index = loop_index;
+  return c;
+}
+
+std::vector<core::Strategy> parse_strategies(const std::string& spec) {
+  if (spec == "all") {
+    return {core::Strategy::kNoDlb, core::Strategy::kGCDLB, core::Strategy::kGDDLB,
+            core::Strategy::kLCDLB, core::Strategy::kLDDLB};
+  }
+  if (spec == "ranked") {
+    std::vector<core::Strategy> out;
+    for (int id = 0; id < core::kRankedStrategyCount; ++id) out.push_back(core::ranked_strategy(id));
+    return out;
+  }
+  std::vector<core::Strategy> out;
+  for (const auto& label : split_commas(spec)) out.push_back(strategy_from_label(label));
+  if (out.empty()) throw std::invalid_argument("parse_strategies: empty spec");
+  return out;
+}
+
+AppSpec make_app_spec(const std::string& name, const support::Cli& cli) {
+  AppSpec spec;
+  if (name == "mxm") {
+    apps::MxmParams p;
+    p.R = cli.get_int("R", 400);
+    p.C = cli.get_int("C", 400);
+    p.R2 = cli.get_int("R2", 400);
+    spec.app = apps::make_mxm(p);
+    spec.name = "mxm[R=" + std::to_string(p.R) + ",C=" + std::to_string(p.C) +
+                ",R2=" + std::to_string(p.R2) + "]";
+    spec.base_ops_per_sec = 3e6;
+    spec.default_tl_seconds = 16.0;
+  } else if (name == "trfd") {
+    apps::TrfdParams p;
+    p.n = static_cast<int>(cli.get_int("n", 30));
+    spec.app = apps::make_trfd(p);
+    spec.name = "trfd[n=" + std::to_string(p.n) + "]";
+    spec.base_ops_per_sec = 1e6;
+    spec.default_tl_seconds = 2.0;
+  } else if (name == "uniform") {
+    const auto iters = cli.get_int("iters", 400);
+    const auto ops = cli.get_double("ops", 100e3);
+    const auto bytes = cli.get_double("bytes", 1024.0);
+    spec.app = apps::make_uniform(iters, ops, bytes);
+    spec.name = "uniform[I=" + std::to_string(iters) + "]";
+    spec.base_ops_per_sec = 20e6;
+    spec.default_tl_seconds = 1.0;
+  } else {
+    throw std::invalid_argument("make_app_spec: unknown app '" + name +
+                                "' (expected mxm|trfd|uniform)");
+  }
+  return spec;
+}
+
+namespace {
+
+/// The paper's figure grids (EXPERIMENTS.md): app shapes, P and rates.
+ExperimentGrid figure_grid(int figure, const support::Cli& cli) {
+  ExperimentGrid grid;
+  grid.strategies = parse_strategies("all");
+  switch (figure) {
+    case 5:
+    case 6: {
+      grid.procs = {figure == 5 ? 4 : 16};
+      // Fig. 6 scales R so R/P stays at 100/200 (paper §6.2).
+      const std::int64_t r_scale = figure == 5 ? 1 : 4;
+      for (const auto& [r, c] : {std::pair<std::int64_t, std::int64_t>{400, 400},
+                                 {400, 800},
+                                 {800, 400},
+                                 {800, 800}}) {
+        AppSpec spec;
+        const apps::MxmParams p{r * r_scale, c, 400};
+        spec.app = apps::make_mxm(p);
+        spec.name = "mxm[R=" + std::to_string(p.R) + ",C=" + std::to_string(p.C) +
+                    ",R2=" + std::to_string(p.R2) + "]";
+        spec.base_ops_per_sec = 3e6;
+        spec.default_tl_seconds = 16.0;
+        grid.apps.push_back(std::move(spec));
+      }
+      break;
+    }
+    case 7:
+    case 8: {
+      grid.procs = {figure == 7 ? 4 : 16};
+      for (const int n : {30, 40, 50}) {
+        AppSpec spec;
+        spec.app = apps::make_trfd({n});
+        spec.name = "trfd[n=" + std::to_string(n) + "]";
+        spec.base_ops_per_sec = 1e6;
+        spec.default_tl_seconds = 2.0;
+        grid.apps.push_back(std::move(spec));
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument("parse_grid: --figure must be 5, 6, 7 or 8");
+  }
+  grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
+  grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
+  return grid;
+}
+
+}  // namespace
+
+ExperimentGrid parse_grid(const support::Cli& cli) {
+  if (cli.has("figure")) {
+    auto grid = figure_grid(static_cast<int>(cli.get_int("figure", 5)), cli);
+    grid.validate();
+    return grid;
+  }
+
+  ExperimentGrid grid;
+  for (const auto& name : split_commas(cli.get("app", "mxm"))) {
+    grid.apps.push_back(make_app_spec(name, cli));
+  }
+  grid.procs.clear();
+  for (const auto& p : split_commas(cli.get("procs", "4"))) grid.procs.push_back(std::stoi(p));
+  grid.strategies = parse_strategies(cli.get("strategies", "all"));
+  for (const auto& tl : split_commas(cli.get("tl", ""))) grid.tl_seconds.push_back(std::stod(tl));
+  grid.max_loads.clear();
+  for (const auto& ml : split_commas(cli.get("max-load", "5"))) {
+    grid.max_loads.push_back(std::stoi(ml));
+  }
+  grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
+  grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
+  grid.loop_index = static_cast<int>(cli.get_int("loop", -1));
+  grid.validate();
+  return grid;
+}
+
+}  // namespace dlb::exp

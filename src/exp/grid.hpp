@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/types.hpp"
+#include "support/cli.hpp"
+
+namespace dlb::exp {
+
+/// One application on the app axis of a grid: the descriptor plus the
+/// cluster calibration that goes with it (the paper profiles the
+/// per-iteration rate per application, §4.1, so the rate travels with the
+/// app, not the cluster).
+struct AppSpec {
+  std::string name;  // row label, e.g. "mxm[R=400,C=400,R2=400]"
+  core::AppDescriptor app;
+  double base_ops_per_sec = 20e6;
+  /// Load persistence t_l used when the grid has no explicit tl axis.
+  double default_tl_seconds = 1.0;
+};
+
+/// Fully resolved coordinates + parameters of one experiment cell.  Cells
+/// are pure: everything a run needs is in here, nothing is shared with
+/// other cells, so a cell can execute on any thread.
+struct CellSpec {
+  std::size_t index = 0;  // canonical (row-major) grid index
+  std::size_t app_i = 0, proc_i = 0, tl_i = 0, load_i = 0, strat_i = 0, seed_i = 0;
+  std::string app_name;
+  cluster::ClusterParams params;  // procs/rate/tl/m_l/seed all resolved
+  core::DlbConfig config;         // strategy resolved
+  int loop_index = -1;            // -1: whole app; else single loop
+  double tl_seconds = 0.0;
+  [[nodiscard]] std::uint64_t seed() const noexcept { return params.seed; }
+};
+
+/// The cross product strategy x app x cluster size x load parameters x
+/// seed, enumerated in a fixed row-major order (app outermost, seed
+/// innermost) that defines the canonical output order of every sweep.
+struct ExperimentGrid {
+  std::vector<AppSpec> apps;
+  std::vector<int> procs{4};
+  std::vector<core::Strategy> strategies;
+  /// Load persistence axis; empty means one point at each app's default.
+  std::vector<double> tl_seconds;
+  /// Load amplitude axis (the paper's m_l; 0 = dedicated machines).
+  std::vector<int> max_loads{5};
+  int seeds = 1;
+  std::uint64_t seed0 = 1000;
+  /// Template for every cell's cluster; the axes override procs, the app's
+  /// rate, the load parameters and the seed, everything else (speeds,
+  /// quantum, network, segments) is taken from here.
+  cluster::ClusterParams cluster_template;
+  /// Template for every cell's DlbConfig; the strategy field is overridden
+  /// per cell from the strategy axis.
+  core::DlbConfig config;
+  /// -1 runs the whole application, >= 0 a single loop (per-loop rankings).
+  int loop_index = -1;
+
+  void validate() const;
+  [[nodiscard]] std::size_t cell_count() const noexcept;
+  /// Resolves cell `index` (0 <= index < cell_count()).
+  [[nodiscard]] CellSpec cell(std::size_t index) const;
+  /// Number of points on the effective tl axis (>= 1).
+  [[nodiscard]] std::size_t tl_points() const noexcept {
+    return tl_seconds.empty() ? 1 : tl_seconds.size();
+  }
+};
+
+/// Builds an AppSpec from a name and shape flags ("mxm", "trfd",
+/// "uniform"); used by dlb_sweep and reusable from tests.
+[[nodiscard]] AppSpec make_app_spec(const std::string& name, const support::Cli& cli);
+
+/// Parses a grid from dlb_sweep-style flags:
+///   --app=mxm,trfd --procs=4,16 --strategies=all|nodlb,gc,gd,lc,ld
+///   --tl=16 --max-load=5 --seeds=3 --seed0=1000 --loop=-1
+///   --R/--C/--R2 (mxm shape), --n (trfd), --iters/--ops/--bytes (uniform)
+///   --figure=5|6|7|8 presets the paper grids (app shapes, procs, rates).
+/// Throws std::invalid_argument on unknown app or strategy names.
+[[nodiscard]] ExperimentGrid parse_grid(const support::Cli& cli);
+
+/// Strategy list from a comma-separated spec of short labels
+/// ("nodlb,gc,gd,lc,ld"), "all" (the five figure schemes, NoDLB first) or
+/// "ranked" (the four ranked DLB schemes).
+[[nodiscard]] std::vector<core::Strategy> parse_strategies(const std::string& spec);
+
+}  // namespace dlb::exp

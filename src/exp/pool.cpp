@@ -1,0 +1,96 @@
+#include "exp/pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace dlb::exp {
+
+int Pool::resolve_threads(int threads) noexcept {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Pool::Pool(int threads) {
+  const int n = resolve_threads(threads);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Pool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++submitted_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void Pool::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_done_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+bool Pool::try_acquire(std::size_t id, std::function<void()>& out) {
+  // Own deque first, LIFO...
+  {
+    auto& mine = *queues_[id];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    if (!mine.tasks.empty()) {
+      out = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then sweep the victims' deques FIFO, starting at the right neighbour.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    auto& victim = *queues_[(id + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pool::worker_loop(std::size_t id) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_acquire(id, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++completed_;
+      if (completed_ == submitted_) all_done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stop_) return;
+    if (completed_ == submitted_) all_done_.notify_all();
+    // Re-check the deques under no lock after waking; spurious wakeups and
+    // races with submit() are handled by looping back to try_acquire.
+    work_available_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace dlb::exp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlb::exp {
+
+/// Work-stealing pool of OS threads for running whole simulation cells in
+/// parallel.  Each worker owns a deque: it pops its own work LIFO (newest
+/// first, cache-warm) and steals FIFO from a victim's opposite end when
+/// empty — the classic Blumofe/Leiserson discipline.  Tasks here are
+/// coarse (one task = one multi-second Engine run), so the deques are
+/// mutex-guarded for simplicity; contention is negligible at this grain.
+///
+/// The pool makes no ordering promises — determinism of experiment output
+/// is the Runner's job (it merges results by canonical grid index, so the
+/// bytes produced are independent of thread count and completion order).
+class Pool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit Pool(int threads = 0);
+  ~Pool();  // drains nothing: waits only for tasks already running, discards queued ones
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw (wrap user work and capture
+  /// exceptions into your own slots; the Runner stores std::exception_ptr
+  /// per cell).  May be called from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait();
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Resolves the threads argument the way the constructor does.
+  [[nodiscard]] static int resolve_threads(int threads) noexcept;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t id);
+  [[nodiscard]] bool try_acquire(std::size_t id, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t next_queue_ = 0;  // round-robin submission target
+  bool stop_ = false;
+};
+
+}  // namespace dlb::exp

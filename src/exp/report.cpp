@@ -1,0 +1,124 @@
+#include "exp/report.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace dlb::exp {
+
+namespace {
+
+std::vector<std::string> header_row(const ReportOptions& options) {
+  std::vector<std::string> h{"app",   "procs",  "strategy",        "tl_seconds",
+                             "max_load", "seed", "exec_seconds",    "syncs",
+                             "redistributions", "iterations_moved", "messages", "bytes"};
+  if (options.include_timing) h.push_back("wall_seconds");
+  return h;
+}
+
+std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& options) {
+  std::vector<std::string> row{
+      c.spec.app_name,
+      std::to_string(c.spec.params.procs),
+      std::string(core::strategy_name(c.spec.config.strategy)),
+      fmt_exact(c.spec.tl_seconds),
+      std::to_string(c.spec.params.load.max_load),
+      std::to_string(c.spec.seed()),
+      fmt_exact(c.result.exec_seconds),
+      std::to_string(c.result.total_syncs()),
+      std::to_string(c.result.total_redistributions()),
+      std::to_string(c.result.total_iterations_moved()),
+      std::to_string(c.result.messages),
+      std::to_string(c.result.bytes),
+  };
+  if (options.include_timing) row.push_back(fmt_exact(c.wall_seconds));
+  return row;
+}
+
+}  // namespace
+
+std::string fmt_exact(double value) {
+  std::ostringstream ss;
+  ss << std::setprecision(17) << value;
+  return ss.str();
+}
+
+void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& options) {
+  support::CsvWriter csv(os);
+  csv.write_row(header_row(options));
+  for (const auto& c : sweep.cells) csv.write_row(cell_row(c, options));
+}
+
+void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions& options) {
+  const auto header = header_row(options);
+  os << "[\n";
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const auto row = cell_row(sweep.cells[i], options);
+    os << "  {";
+    for (std::size_t k = 0; k < header.size(); ++k) {
+      // Numeric columns are every one except app and strategy.
+      const bool quoted = k == 0 || k == 2;
+      os << (k ? ", " : "") << "\"" << header[k] << "\": ";
+      if (quoted) {
+        os << "\"" << row[k] << "\"";
+      } else {
+        os << row[k];
+      }
+    }
+    os << "}" << (i + 1 < sweep.cells.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void write_summary(std::ostream& os, const SweepResult& sweep, int seeds) {
+  if (seeds <= 0 || sweep.cells.size() % static_cast<std::size_t>(seeds) != 0) {
+    os << "(summary unavailable: cell count not a multiple of seeds)\n";
+    return;
+  }
+  support::Table table({"app", "P", "strategy", "tl", "m_l", "mean exec [s]", "mean syncs",
+                        "mean moved"});
+  std::ostringstream csv_buf;
+  support::CsvWriter csv(csv_buf);
+  csv.write_row({"app", "procs", "strategy", "tl_seconds", "max_load", "mean_exec_seconds",
+                 "mean_syncs", "mean_iterations_moved"});
+
+  // Seeds are the innermost axis, so each grid point is a contiguous block.
+  for (std::size_t base = 0; base < sweep.cells.size(); base += static_cast<std::size_t>(seeds)) {
+    double exec = 0.0, syncs = 0.0, moved = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      const auto& r = sweep.cells[base + static_cast<std::size_t>(s)].result;
+      exec += r.exec_seconds;
+      syncs += r.total_syncs();
+      moved += static_cast<double>(r.total_iterations_moved());
+    }
+    exec /= seeds;
+    syncs /= seeds;
+    moved /= seeds;
+    const auto& spec = sweep.cells[base].spec;
+    table.add_row({spec.app_name, std::to_string(spec.params.procs),
+                   core::strategy_name(spec.config.strategy), support::fmt_fixed(spec.tl_seconds, 1),
+                   std::to_string(spec.params.load.max_load), support::fmt_fixed(exec, 4),
+                   support::fmt_fixed(syncs, 2), support::fmt_fixed(moved, 1)});
+    csv.write_row({spec.app_name, std::to_string(spec.params.procs),
+                   core::strategy_name(spec.config.strategy), fmt_exact(spec.tl_seconds),
+                   std::to_string(spec.params.load.max_load), fmt_exact(exec), fmt_exact(syncs),
+                   fmt_exact(moved)});
+  }
+  table.print(os);
+  os << "\ncsv:\n" << csv_buf.str();
+}
+
+void write_timing(std::ostream& os, const SweepResult& sweep) {
+  const double wall = sweep.wall_seconds;
+  const double serial = sweep.cell_wall_sum();
+  os << "timing: " << sweep.cells.size() << " cells, " << sweep.threads << " threads, wall "
+     << support::fmt_fixed(wall, 3) << " s, serial-equivalent " << support::fmt_fixed(serial, 3)
+     << " s, speedup " << support::fmt_fixed(wall > 0 ? serial / wall : 0.0, 2) << "x, "
+     << support::fmt_fixed(wall > 0 ? sweep.cells.size() / wall : 0.0, 1) << " cells/s\n";
+}
+
+}  // namespace dlb::exp

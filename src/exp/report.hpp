@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace dlb::exp {
+
+struct ReportOptions {
+  /// Include per-cell host wall time columns.  Off by default: the result
+  /// columns are bit-deterministic across thread counts, timing is not.
+  bool include_timing = false;
+};
+
+/// One CSV/JSON row per cell, canonical grid order.  Columns:
+/// app, procs, strategy, tl_seconds, max_load, seed, exec_seconds, syncs,
+/// redistributions, iterations_moved, messages, bytes [, wall_seconds].
+/// exec_seconds is printed with round-trip (max_digits10) precision so
+/// equality of bytes implies equality of doubles.
+void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& options = {});
+void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions& options = {});
+
+/// Aggregated view: one row per grid point (all axes except seed), mean
+/// exec/syncs/moved over the seed axis — the shape the paper's figures
+/// plot.  Written as an aligned table plus a trailing CSV block, mirroring
+/// the bench output style.
+void write_summary(std::ostream& os, const SweepResult& sweep, int seeds);
+
+/// Host-timing summary (total wall, serial-equivalent sum, speedup,
+/// cells/s).  Separate from the deterministic result streams.
+void write_timing(std::ostream& os, const SweepResult& sweep);
+
+/// Round-trip double formatting (max_digits10, shortest-faithful enough
+/// for byte comparison of equal doubles).
+[[nodiscard]] std::string fmt_exact(double value);
+
+}  // namespace dlb::exp

@@ -1,0 +1,99 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <numeric>
+#include <utility>
+
+#include "core/runtime.hpp"
+#include "exp/pool.hpp"
+#include "support/rng.hpp"
+
+namespace dlb::exp {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+double SweepResult::cell_wall_sum() const {
+  double sum = 0.0;
+  for (const auto& c : cells) sum += c.wall_seconds;
+  return sum;
+}
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+CellResult Runner::run_cell(const ExperimentGrid& grid, std::size_t index) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult out;
+  out.spec = grid.cell(index);
+
+  cluster::Cluster cluster(out.spec.params);
+  core::Runtime runtime(cluster, grid.apps[out.spec.app_i].app, out.spec.config);
+  out.result = out.spec.loop_index < 0
+                   ? runtime.run()
+                   : runtime.run_single_loop(static_cast<std::size_t>(out.spec.loop_index));
+  out.wall_seconds = elapsed_seconds(t0);
+  return out;
+}
+
+SweepResult Runner::run_serial(const ExperimentGrid& grid) {
+  grid.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepResult sweep;
+  sweep.threads = 1;
+  const std::size_t n = grid.cell_count();
+  sweep.cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sweep.cells.push_back(run_cell(grid, i));
+  sweep.wall_seconds = elapsed_seconds(t0);
+  return sweep;
+}
+
+SweepResult Runner::run(const ExperimentGrid& grid) const {
+  grid.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = grid.cell_count();
+
+  SweepResult sweep;
+  sweep.threads = Pool::resolve_threads(options_.threads);
+  sweep.cells.resize(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  // Submission order is a performance detail (and a determinism test
+  // knob); each task writes only its own canonical slot.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (options_.shuffle_submission) {
+    support::Rng rng(options_.shuffle_seed);
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = rng.uniform_int(0, static_cast<std::int64_t>(i) - 1);
+      std::swap(order[i - 1], order[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  Pool pool(options_.threads);
+  for (const std::size_t index : order) {
+    pool.submit([&grid, &sweep, &errors, index] {
+      try {
+        sweep.cells[index] = Runner::run_cell(grid, index);
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+
+  // Re-throw the first failure in canonical order (deterministic even when
+  // several cells fail).
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  sweep.wall_seconds = elapsed_seconds(t0);
+  return sweep;
+}
+
+}  // namespace dlb::exp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_stats.hpp"
+#include "exp/grid.hpp"
+
+namespace dlb::exp {
+
+struct RunnerOptions {
+  /// Pool width; 0 picks hardware concurrency, 1 degenerates to a serial
+  /// run through the pool machinery.
+  int threads = 0;
+  /// Permute the submission order (results still merge canonically).  Used
+  /// by the determinism tests to prove output is order-independent.
+  bool shuffle_submission = false;
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// One executed cell: its resolved spec, the simulation result, and the
+/// host wall-clock time the cell took (timing is reporting-only and never
+/// part of deterministic output).
+struct CellResult {
+  CellSpec spec;
+  core::RunResult result;
+  double wall_seconds = 0.0;
+};
+
+/// A completed sweep.  `cells` is in canonical grid order —
+/// cells[i].spec.index == i — regardless of thread count, completion
+/// order, or submission order, which is what makes sweep output
+/// reproducible byte-for-byte.
+struct SweepResult {
+  std::vector<CellResult> cells;
+  double wall_seconds = 0.0;  // whole sweep, host clock
+  int threads = 1;
+  /// Sum of per-cell wall times: the serial-equivalent cost, so
+  /// speedup = cell_wall_sum / wall_seconds.
+  [[nodiscard]] double cell_wall_sum() const;
+};
+
+/// Executes every cell of a grid, each in its own fresh Cluster + Runtime
+/// (engine instances are independent, so cells parallelize with no shared
+/// mutable state), and merges results in canonical order.
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  [[nodiscard]] SweepResult run(const ExperimentGrid& grid) const;
+
+  /// Reference implementation: a plain serial loop over the same cells
+  /// with no pool involved.  The differential tests pin run() to this.
+  [[nodiscard]] static SweepResult run_serial(const ExperimentGrid& grid);
+
+  /// Executes a single cell (fresh cluster, one Runtime::run or
+  /// run_single_loop).  Thread-safe for distinct cells.
+  [[nodiscard]] static CellResult run_cell(const ExperimentGrid& grid, std::size_t index);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace dlb::exp

@@ -14,6 +14,13 @@ namespace dlb::sim {
 /// (time, insertion sequence) so execution is deterministic.  Single-threaded
 /// by design — "parallelism" is virtual, which is what lets the cost model be
 /// validated against exact run traces.
+///
+/// Thread model: one Engine must only ever be driven from one thread, but
+/// engines hold no global state, so *distinct* engines may run concurrently
+/// on distinct threads (the exp::Runner executes one whole Engine per
+/// experiment cell).  Virtual time never resets: an engine (and any Cluster
+/// built around it) is single-run — `now() != 0 || events_executed() != 0`
+/// marks it consumed, which core::Runtime checks at construction.
 class Engine {
  public:
   Engine() = default;

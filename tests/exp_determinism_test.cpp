@@ -1,0 +1,115 @@
+// Determinism property: a sweep's merged output bytes are a function of
+// the grid alone — not of pool width, not of submission order, not of
+// which worker finishes first.  Run the same grid with 1, 2 and 8 threads
+// and with shuffled submission; every CSV/JSON byte must match.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "apps/synthetic.hpp"
+#include "apps/trfd.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace {
+
+using dlb::exp::ExperimentGrid;
+using dlb::exp::ReportOptions;
+using dlb::exp::Runner;
+using dlb::exp::RunnerOptions;
+using dlb::exp::SweepResult;
+
+ExperimentGrid property_grid() {
+  ExperimentGrid grid;
+  dlb::exp::AppSpec sawtooth;
+  sawtooth.name = "sawtooth";
+  sawtooth.app = dlb::apps::make_sawtooth(48, 80e3, 20e3, 8.0);
+  sawtooth.base_ops_per_sec = 1e6;
+  sawtooth.default_tl_seconds = 0.5;
+  grid.apps.push_back(std::move(sawtooth));
+
+  dlb::exp::AppSpec trfd;
+  trfd.name = "trfd";
+  trfd.app = dlb::apps::make_trfd({8});  // two loops + transpose
+  trfd.base_ops_per_sec = 1e6;
+  trfd.default_tl_seconds = 0.5;
+  grid.apps.push_back(std::move(trfd));
+
+  grid.procs = {4};
+  grid.strategies = dlb::exp::parse_strategies("all");
+  grid.max_loads = {0, 5};  // dedicated + loaded
+  grid.seeds = 2;
+  grid.seed0 = 31000;
+  return grid;
+}
+
+std::string csv_of(const SweepResult& sweep) {
+  std::ostringstream os;
+  dlb::exp::write_csv(os, sweep, ReportOptions{});
+  return os.str();
+}
+
+std::string json_of(const SweepResult& sweep) {
+  std::ostringstream os;
+  dlb::exp::write_json(os, sweep, ReportOptions{});
+  return os.str();
+}
+
+TEST(ExpDeterminism, MergedBytesIdenticalAcrossThreadCounts) {
+  const auto grid = property_grid();
+
+  RunnerOptions one;
+  one.threads = 1;
+  RunnerOptions two;
+  two.threads = 2;
+  RunnerOptions eight;
+  eight.threads = 8;
+
+  const auto sweep1 = Runner(one).run(grid);
+  const auto sweep2 = Runner(two).run(grid);
+  const auto sweep8 = Runner(eight).run(grid);
+
+  const auto csv1 = csv_of(sweep1);
+  ASSERT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv_of(sweep2));
+  EXPECT_EQ(csv1, csv_of(sweep8));
+  const auto json1 = json_of(sweep1);
+  EXPECT_EQ(json1, json_of(sweep2));
+  EXPECT_EQ(json1, json_of(sweep8));
+}
+
+TEST(ExpDeterminism, MergedBytesIdenticalUnderShuffledSubmission) {
+  const auto grid = property_grid();
+  RunnerOptions plain;
+  plain.threads = 4;
+  const auto baseline = csv_of(Runner(plain).run(grid));
+
+  for (const std::uint64_t shuffle_seed : {1ull, 2ull, 3ull}) {
+    RunnerOptions shuffled;
+    shuffled.threads = 4;
+    shuffled.shuffle_submission = true;
+    shuffled.shuffle_seed = shuffle_seed;
+    EXPECT_EQ(baseline, csv_of(Runner(shuffled).run(grid)))
+        << "shuffle seed " << shuffle_seed;
+  }
+}
+
+TEST(ExpDeterminism, SerialReferenceProducesTheSameBytes) {
+  const auto grid = property_grid();
+  RunnerOptions options;
+  options.threads = 8;
+  EXPECT_EQ(csv_of(Runner::run_serial(grid)), csv_of(Runner(options).run(grid)));
+}
+
+TEST(ExpDeterminism, RepeatedRunsAreIdempotent) {
+  const auto grid = property_grid();
+  RunnerOptions options;
+  options.threads = 2;
+  const Runner runner(options);
+  EXPECT_EQ(csv_of(runner.run(grid)), csv_of(runner.run(grid)));
+}
+
+}  // namespace

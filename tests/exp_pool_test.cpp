@@ -1,0 +1,94 @@
+// exp::Pool unit tests: completion of all submitted tasks, wait()
+// semantics, reuse across waves, and submission from worker threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exp/pool.hpp"
+
+namespace {
+
+using dlb::exp::Pool;
+
+TEST(ExpPool, ResolveThreads) {
+  EXPECT_EQ(Pool::resolve_threads(3), 3);
+  EXPECT_GE(Pool::resolve_threads(0), 1);
+}
+
+TEST(ExpPool, RunsEveryTask) {
+  Pool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ExpPool, WaitWithNoTasksReturns) {
+  Pool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ExpPool, ReusableAcrossWaves) {
+  Pool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 50);
+  }
+}
+
+TEST(ExpPool, EachTaskRunsExactlyOnce) {
+  Pool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  pool.wait();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ExpPool, SubmitFromWorkerThread) {
+  Pool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1);
+      pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ExpPool, TasksSpreadAcrossThreadsWhenParallel) {
+  // With several workers and blocking-free tasks, at least one thread id
+  // beyond the submitter's must appear (work actually leaves this thread).
+  Pool pool(4);
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait();
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_TRUE(seen.find(std::this_thread::get_id()) == seen.end());
+}
+
+}  // namespace
