@@ -72,6 +72,52 @@ void BM_MailboxDeliverReceive(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxDeliverReceive)->Arg(1000)->Arg(10000);
 
+sim::Process trivial_process() { co_return; }
+
+void BM_ProcessSpawnTeardown(benchmark::State& state) {
+  const auto procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < procs; ++i) engine.spawn(trivial_process());
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_ProcessSpawnTeardown)->Arg(1000)->Arg(10000);
+
+sim::Process ping(sim::Engine& engine, sim::Mailbox& mine, sim::Mailbox& theirs, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    sim::Message m;
+    m.tag = 1;
+    m.payload = i;
+    theirs.deliver(std::move(m));
+    (void)co_await mine.receive();
+    co_await engine.sleep_for(1);
+  }
+}
+
+sim::Process pong(sim::Mailbox& mine, sim::Mailbox& theirs, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    sim::Message m = co_await mine.receive();
+    m.tag = 2;
+    theirs.deliver(std::move(m));
+  }
+}
+
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Mailbox a(engine);
+    sim::Mailbox b(engine);
+    engine.spawn(ping(engine, a, b, rounds));
+    engine.spawn(pong(b, a, rounds));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_MailboxRoundTrip)->Arg(1000)->Arg(10000);
+
 void BM_PatternAllToAll(benchmark::State& state) {
   const auto procs = static_cast<int>(state.range(0));
   const net::EthernetParams params;

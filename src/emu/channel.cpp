@@ -11,12 +11,8 @@ void Channel::deliver(EmuMessage message) {
 }
 
 std::optional<EmuMessage> Channel::take_locked(int tag, int source) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, tag, source)) {
-      EmuMessage m = std::move(*it);
-      queue_.erase(it);
-      return m;
-    }
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (matches(queue_[i], tag, source)) return queue_.take(i);
   }
   return std::nullopt;
 }

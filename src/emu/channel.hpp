@@ -1,12 +1,12 @@
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
 
 #include "core/ownership.hpp"
 #include "core/policy.hpp"
+#include "support/ring_buffer.hpp"
 
 namespace dlb::emu {
 
@@ -24,7 +24,8 @@ inline constexpr int kEmuAnyTag = -1;
 inline constexpr int kEmuAnySource = -1;
 
 /// Thread-safe tagged mailbox: the live analogue of sim::Mailbox.  FIFO
-/// within matches; receive blocks on a condition variable.
+/// within matches; receive blocks on a condition variable.  Mirrors the
+/// simulator mailbox's ring-buffered pending list: no per-message node.
 class Channel {
  public:
   void deliver(EmuMessage message);
@@ -47,7 +48,7 @@ class Channel {
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<EmuMessage> queue_;
+  support::RingBuffer<EmuMessage> queue_;
 };
 
 }  // namespace dlb::emu

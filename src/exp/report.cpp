@@ -12,16 +12,23 @@ namespace dlb::exp {
 
 namespace {
 
+// 12 fixed columns plus the optional wall_seconds one.
+constexpr std::size_t kMaxColumns = 13;
+
 std::vector<std::string> header_row(const ReportOptions& options) {
-  std::vector<std::string> h{"app",   "procs",  "strategy",        "tl_seconds",
-                             "max_load", "seed", "exec_seconds",    "syncs",
-                             "redistributions", "iterations_moved", "messages", "bytes"};
+  std::vector<std::string> h;
+  h.reserve(kMaxColumns);
+  h.insert(h.end(), {"app",   "procs",  "strategy",        "tl_seconds",
+                     "max_load", "seed", "exec_seconds",    "syncs",
+                     "redistributions", "iterations_moved", "messages", "bytes"});
   if (options.include_timing) h.push_back("wall_seconds");
   return h;
 }
 
 std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& options) {
-  std::vector<std::string> row{
+  std::vector<std::string> row;
+  row.reserve(kMaxColumns);
+  row.insert(row.end(), {
       c.spec.app_name,
       std::to_string(c.spec.params.procs),
       std::string(core::strategy_name(c.spec.config.strategy)),
@@ -34,7 +41,7 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
       std::to_string(c.result.total_iterations_moved()),
       std::to_string(c.result.messages),
       std::to_string(c.result.bytes),
-  };
+  });
   if (options.include_timing) row.push_back(fmt_exact(c.wall_seconds));
   return row;
 }
@@ -56,20 +63,31 @@ void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& 
 void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions& options) {
   const auto header = header_row(options);
   os << "[\n";
+  std::string line;  // reused across rows; capacity settles after the first
+  line.reserve(256);
   for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
     const auto row = cell_row(sweep.cells[i], options);
-    os << "  {";
+    line.clear();
+    line += "  {";
     for (std::size_t k = 0; k < header.size(); ++k) {
       // Numeric columns are every one except app and strategy.
       const bool quoted = k == 0 || k == 2;
-      os << (k ? ", " : "") << "\"" << header[k] << "\": ";
+      if (k) line += ", ";
+      line += '"';
+      line += header[k];
+      line += "\": ";
       if (quoted) {
-        os << "\"" << row[k] << "\"";
+        line += '"';
+        line += row[k];
+        line += '"';
       } else {
-        os << row[k];
+        line += row[k];
       }
     }
-    os << "}" << (i + 1 < sweep.cells.size() ? "," : "") << "\n";
+    line += '}';
+    if (i + 1 < sweep.cells.size()) line += ',';
+    line += '\n';
+    os << line;
   }
   os << "]\n";
 }

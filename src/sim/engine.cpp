@@ -1,64 +1,118 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <utility>
 
 namespace dlb::sim {
 
+namespace {
+constexpr std::size_t kCallChunk = 64;  // CallNodes allocated per pool growth
+}
+
 Engine::~Engine() {
-  // Destroy still-suspended process frames.  Inner Task frames are destroyed
-  // transitively as the owning frames unwind their locals.
-  for (auto h : processes_) {
-    if (h) h.destroy();
+  // Destroy still-suspended process frames first (mirrors the pre-pool
+  // teardown order: frames before pending event callables).  Inner Task
+  // frames are destroyed transitively as the owning frames unwind.
+  Process::promise_type* p = live_head_;
+  while (p != nullptr) {
+    Process::promise_type* next = p->next_live;
+    Process::Handle::from_promise(*p).destroy();
+    p = next;
+  }
+  // Drop the callables still parked in undelivered events; the chunk vector
+  // then releases the node memory itself.
+  for (const Event& ev : events_) {
+    if (ev.is_call) {
+      auto* node = reinterpret_cast<CallNode*>(ev.payload);
+      node->drop(*node);
+    }
   }
 }
 
-void Engine::schedule_at(SimTime at, std::function<void()> fn) {
-  events_.push_back(Event{std::max(at, now_), next_seq_++, std::move(fn)});
-  std::push_heap(events_.begin(), events_.end(), EventLater{});
+Engine::CallNode* Engine::acquire_call_node() {
+  if (free_calls_ == nullptr) {
+    // Pool exhausted: grow by a chunk, never fail an in-flight schedule.
+    auto chunk = std::make_unique<CallNode[]>(kCallChunk);
+    for (std::size_t i = 0; i < kCallChunk; ++i) {
+      chunk[i].next_free = free_calls_;
+      free_calls_ = &chunk[i];
+    }
+    call_chunks_.push_back(std::move(chunk));
+  }
+  CallNode* node = free_calls_;
+  free_calls_ = node->next_free;
+  return node;
 }
 
-void Engine::schedule_resume(SimTime at, std::coroutine_handle<> h) {
-  schedule_at(at, [h] { h.resume(); });
+void Engine::release_call_node(CallNode* node) noexcept {
+  node->next_free = free_calls_;
+  free_calls_ = node;
+}
+
+void Engine::push_call_event(SimTime at, CallNode* node) noexcept {
+  push_event(Event{std::max(at, now_), next_seq_++,
+                   reinterpret_cast<std::uintptr_t>(node), true});
 }
 
 void Engine::spawn(Process p) {
   const Process::Handle h = p.release();
-  processes_.push_back(h);
-  schedule_at(now_, [h] { h.resume(); });
+  auto& promise = h.promise();
+  promise.engine = this;
+  promise.on_done = &Engine::process_done_hook;
+  promise.prev_live = nullptr;
+  promise.next_live = live_head_;
+  if (live_head_ != nullptr) live_head_->prev_live = &promise;
+  live_head_ = &promise;
+  schedule_resume(now_, h);
 }
 
-void Engine::reap_and_check_processes() {
-  std::size_t keep = 0;
-  std::exception_ptr pending;
-  for (std::size_t i = 0; i < processes_.size(); ++i) {
-    const auto h = processes_[i];
-    if (h.done()) {
-      if (h.promise().exception && !pending) pending = h.promise().exception;
-      h.destroy();
-    } else {
-      processes_[keep++] = h;
-    }
+void Engine::process_done_hook(void* engine, Process::Handle h) noexcept {
+  static_cast<Engine*>(engine)->on_process_done(h);
+}
+
+void Engine::on_process_done(Process::Handle h) noexcept {
+  auto& promise = h.promise();
+  if (promise.prev_live != nullptr) {
+    promise.prev_live->next_live = promise.next_live;
+  } else {
+    live_head_ = promise.next_live;
   }
-  processes_.resize(keep);
-  if (pending) std::rethrow_exception(pending);
+  if (promise.next_live != nullptr) promise.next_live->prev_live = promise.prev_live;
+  if (promise.exception && !pending_) pending_ = promise.exception;
+  h.destroy();
+}
+
+void Engine::dispatch(const Event& ev) {
+  if (ev.is_call) {
+    auto* node = reinterpret_cast<CallNode*>(ev.payload);
+    // The node returns to the pool even if the callable throws; run()
+    // destroys the callable itself.
+    struct Return {
+      Engine* engine;
+      CallNode* node;
+      ~Return() { engine->release_call_node(node); }
+    } guard{this, node};
+    node->run(*node);
+  } else {
+    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(ev.payload)).resume();
+  }
 }
 
 SimTime Engine::run() { return run_until(kTimeInfinity); }
 
 SimTime Engine::run_until(SimTime deadline) {
   while (!events_.empty()) {
-    if (events_.front().at > deadline) {
+    const Event ev = events_.front();
+    if (ev.at > deadline) {
       now_ = deadline;
       return now_;
     }
-    std::pop_heap(events_.begin(), events_.end(), EventLater{});
-    Event ev = std::move(events_.back());
-    events_.pop_back();
+    remove_front_event();
     now_ = ev.at;
     ++events_executed_;
-    ev.fn();
-    reap_and_check_processes();
+    dispatch(ev);
+    if (pending_) {
+      std::rethrow_exception(std::exchange(pending_, nullptr));
+    }
   }
   return now_;
 }

@@ -1,8 +1,13 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <exception>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/process.hpp"
@@ -21,6 +26,14 @@ namespace dlb::sim {
 /// experiment cell).  Virtual time never resets: an engine (and any Cluster
 /// built around it) is single-run — `now() != 0 || events_executed() != 0`
 /// marks it consumed, which core::Runtime checks at construction.
+///
+/// Hot-path representation: the queue is a 4-ary heap of 32-byte POD event
+/// records.  A coroutine resume (the dominant event kind — every sleep,
+/// mailbox delivery and spawn) stores the bare handle in the record; an
+/// arbitrary `schedule_at` callable lives in a per-engine pooled CallNode
+/// with a 64-byte inline buffer (larger captures spill to the heap, once,
+/// inside the node).  Nodes are recycled through a free list, so the steady
+/// state of a run performs no allocation per event.
 class Engine {
  public:
   Engine() = default;
@@ -32,10 +45,68 @@ class Engine {
 
   /// Schedules an arbitrary callback at absolute virtual time `at`
   /// (clamped to `now()` if in the past).
-  void schedule_at(SimTime at, std::function<void()> fn);
+  template <typename Fn>
+  void schedule_at(SimTime at, Fn&& fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<Fn>&>,
+                  "schedule_at callable must be invocable as void()");
+    using Decayed = std::decay_t<Fn>;
+    CallNode* node = acquire_call_node();
+    try {
+      construct_call(node, std::forward<Fn>(fn));
+    } catch (...) {
+      release_call_node(node);
+      throw;
+    }
+    push_call_event(at, node);
+  }
 
-  /// Schedules a coroutine resume at absolute virtual time `at`.
-  void schedule_resume(SimTime at, std::coroutine_handle<> h);
+ private:
+  struct CallNode;
+
+  template <typename Fn>
+  void construct_call(CallNode* node, Fn&& fn) {
+    using Decayed = std::decay_t<Fn>;
+    if constexpr (sizeof(Decayed) <= CallNode::kInlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(node->storage)) Decayed(std::forward<Fn>(fn));
+      node->run = [](CallNode& n) {
+        auto* f = std::launder(reinterpret_cast<Decayed*>(n.storage));
+        struct Destroy {
+          Decayed* f;
+          ~Destroy() { f->~Decayed(); }
+        } d{f};
+        (*f)();
+      };
+      node->drop = [](CallNode& n) noexcept {
+        std::launder(reinterpret_cast<Decayed*>(n.storage))->~Decayed();
+      };
+    } else {
+      // Rare spill: captures wider than the inline buffer get one heap box.
+      ::new (static_cast<void*>(node->storage))
+          Decayed*(new Decayed(std::forward<Fn>(fn)));
+      node->run = [](CallNode& n) {
+        auto* f = *std::launder(reinterpret_cast<Decayed**>(n.storage));
+        struct Destroy {
+          Decayed* f;
+          ~Destroy() { delete f; }
+        } d{f};
+        (*f)();
+      };
+      node->drop = [](CallNode& n) noexcept {
+        delete *std::launder(reinterpret_cast<Decayed**>(n.storage));
+      };
+    }
+  }
+
+ public:
+  /// Schedules a coroutine resume at absolute virtual time `at`.  This is
+  /// the fast path: the record holds the bare handle, no callable is built.
+  /// Never throws mid-run: the queue grows geometrically and allocation
+  /// failure terminates rather than corrupting the (time, seq) contract.
+  void schedule_resume(SimTime at, std::coroutine_handle<> h) noexcept {
+    push_event(Event{at < now_ ? now_ : at, next_seq_++,
+                     reinterpret_cast<std::uintptr_t>(h.address()), false});
+  }
 
   /// Starts a root process as an event at the current time.  The engine owns
   /// the frame; exceptions escaping the process are re-thrown from run().
@@ -48,49 +119,106 @@ class Engine {
   /// events after the deadline remain queued.
   SimTime run_until(SimTime deadline);
 
+  /// Awaitable for sleep_for/sleep_until: suspends the awaiting coroutine
+  /// until `wake_at` (no-op if already past).
+  struct SleepAwaiter {
+    Engine& engine;
+    SimTime wake_at;
+    bool await_ready() const noexcept { return wake_at <= engine.now(); }
+    void await_suspend(std::coroutine_handle<> h) const noexcept {
+      engine.schedule_resume(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
   /// Awaitable: suspends the awaiting coroutine for `duration` virtual ns.
-  [[nodiscard]] auto sleep_for(SimTime duration) {
-    struct Awaiter {
-      Engine& engine;
-      SimTime wake_at;
-      bool await_ready() const noexcept { return wake_at <= engine.now(); }
-      void await_suspend(std::coroutine_handle<> h) const { engine.schedule_resume(wake_at, h); }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{*this, duration <= 0 ? now_ : now_ + duration};
+  [[nodiscard]] SleepAwaiter sleep_for(SimTime duration) noexcept {
+    return SleepAwaiter{*this, duration <= 0 ? now_ : now_ + duration};
   }
 
   /// Awaitable: suspends until absolute virtual time `at` (no-op if past).
-  [[nodiscard]] auto sleep_until(SimTime at) {
-    struct Awaiter {
-      Engine& engine;
-      SimTime wake_at;
-      bool await_ready() const noexcept { return wake_at <= engine.now(); }
-      void await_suspend(std::coroutine_handle<> h) const { engine.schedule_resume(wake_at, h); }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{*this, at};
+  [[nodiscard]] SleepAwaiter sleep_until(SimTime at) noexcept {
+    return SleepAwaiter{*this, at};
   }
 
   [[nodiscard]] std::size_t events_executed() const noexcept { return events_executed_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
 
  private:
+  /// Pooled holder for a type-erased `schedule_at` callable.  Chunk-allocated
+  /// by the engine and recycled through `free_calls_`; `run`/`drop` own the
+  /// lifetime of the stored callable.
+  struct CallNode {
+    static constexpr std::size_t kInlineBytes = 64;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    void (*run)(CallNode&);            // invoke, then destroy the callable
+    void (*drop)(CallNode&) noexcept;  // destroy without invoking (teardown)
+    CallNode* next_free;
+  };
+
+  /// 32-byte POD heap record.  `payload` is either a CallNode* or the
+  /// address of a coroutine handle, discriminated by `is_call`.
   struct Event {
     SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uintptr_t payload;
+    bool is_call;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+
+  static bool earlier(const Event& a, const Event& b) noexcept {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  [[nodiscard]] CallNode* acquire_call_node();
+  void release_call_node(CallNode* node) noexcept;
+  void push_call_event(SimTime at, CallNode* node) noexcept;
+
+  // 4-ary heap on (at, seq): shallower than a binary heap and the four
+  // children of a node share a cache line of 32-byte records, so sift-down
+  // — the cost center of a pop-heavy discrete-event loop — touches fewer
+  // lines.  Inline: sits directly in every awaiter's suspend path.
+  void push_event(Event ev) noexcept {
+    events_.push_back(ev);
+    std::size_t i = events_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(events_[i], events_[parent])) break;
+      std::swap(events_[i], events_[parent]);
+      i = parent;
     }
-  };
+  }
 
-  void reap_and_check_processes();
+  /// Removes the root (already read by the caller) and restores the heap.
+  void remove_front_event() noexcept {
+    const Event last = events_.back();
+    events_.pop_back();
+    const std::size_t n = events_.size();
+    if (n == 0) return;
+    std::size_t i = 0;  // sift the former tail down from the root hole
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(events_[c], events_[best])) best = c;
+      }
+      if (!earlier(events_[best], last)) break;
+      events_[i] = events_[best];
+      i = best;
+    }
+    events_[i] = last;
+  }
 
-  std::vector<Event> events_;  // binary min-heap via std::push_heap/pop_heap
-  std::vector<Process::Handle> processes_;
+  void dispatch(const Event& ev);
+  static void process_done_hook(void* engine, Process::Handle h) noexcept;
+  void on_process_done(Process::Handle h) noexcept;
+
+  std::vector<Event> events_;  // 4-ary min-heap on (at, seq)
+  std::vector<std::unique_ptr<CallNode[]>> call_chunks_;
+  CallNode* free_calls_ = nullptr;
+  Process::promise_type* live_head_ = nullptr;  // intrusive list of root frames
+  std::exception_ptr pending_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_executed_ = 0;

@@ -1,0 +1,90 @@
+#include "sim/frame_arena.hpp"
+
+#include <new>
+#include <vector>
+
+namespace dlb::sim {
+
+namespace {
+
+// Every block is prefixed by a 16-byte header holding its size class, so
+// deallocate() needs no size argument (coroutine frame deallocation is not
+// guaranteed to be sized on every compiler).  16 bytes keeps the payload
+// aligned for std::max_align_t on all mainstream ABIs.
+struct alignas(16) Header {
+  std::uint32_t cls;  // size-class index, or kOversize
+  std::uint32_t pad[3];
+};
+static_assert(sizeof(Header) == 16);
+
+constexpr std::uint32_t kOversize = 0xffffffffu;
+constexpr std::size_t kNumClasses = FrameArena::kMaxBlock / FrameArena::kGranularity;
+
+struct ThreadArena {
+  std::vector<void*> slabs;
+  unsigned char* bump = nullptr;
+  std::size_t remaining = 0;
+  void* free_lists[kNumClasses] = {};
+  FrameArena::Stats stats;
+
+  ~ThreadArena() {
+    for (void* s : slabs) ::operator delete(s);
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t total =
+        (bytes + sizeof(Header) + FrameArena::kGranularity - 1) / FrameArena::kGranularity *
+        FrameArena::kGranularity;
+    ++stats.live;
+    if (total > FrameArena::kMaxBlock) {
+      ++stats.oversize;
+      auto* block = static_cast<unsigned char*>(::operator new(total));
+      reinterpret_cast<Header*>(block)->cls = kOversize;
+      return block + sizeof(Header);
+    }
+    const std::size_t cls = total / FrameArena::kGranularity - 1;
+    if (void* head = free_lists[cls]) {
+      ++stats.reused;
+      free_lists[cls] = *static_cast<void**>(head);
+      auto* block = static_cast<unsigned char*>(head);
+      reinterpret_cast<Header*>(block)->cls = static_cast<std::uint32_t>(cls);
+      return block + sizeof(Header);
+    }
+    ++stats.fresh;
+    if (remaining < total) {
+      bump = static_cast<unsigned char*>(::operator new(FrameArena::kSlabBytes));
+      slabs.push_back(bump);
+      remaining = FrameArena::kSlabBytes;
+      ++stats.slabs;
+    }
+    auto* block = bump;
+    bump += total;
+    remaining -= total;
+    reinterpret_cast<Header*>(block)->cls = static_cast<std::uint32_t>(cls);
+    return block + sizeof(Header);
+  }
+
+  void deallocate(void* p) noexcept {
+    auto* block = static_cast<unsigned char*>(p) - sizeof(Header);
+    const std::uint32_t cls = reinterpret_cast<Header*>(block)->cls;
+    --stats.live;
+    if (cls == kOversize) {
+      ::operator delete(block);
+      return;
+    }
+    *reinterpret_cast<void**>(block) = free_lists[cls];
+    free_lists[cls] = block;
+  }
+};
+
+thread_local ThreadArena t_arena;
+
+}  // namespace
+
+void* FrameArena::allocate(std::size_t bytes) { return t_arena.allocate(bytes); }
+
+void FrameArena::deallocate(void* p) noexcept { t_arena.deallocate(p); }
+
+FrameArena::Stats FrameArena::stats() noexcept { return t_arena.stats; }
+
+}  // namespace dlb::sim

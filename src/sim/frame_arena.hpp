@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlb::sim {
+
+/// Thread-local slab allocator for coroutine frames.  The simulator creates
+/// and destroys thousands of short-lived protocol coroutines per run
+/// (`Task<T>` per send/receive/compute step, one `Process` per actor), and a
+/// sweep runs thousands of engines per worker thread — so frames of the same
+/// size recur constantly.  Promise types route `operator new/delete` here:
+/// blocks are carved from 64 KiB slabs, bucketed into 64-byte size classes,
+/// and recycled through per-class free lists.  Steady state performs no
+/// heap allocation at all.
+///
+/// The arena is thread-local (engines never migrate threads mid-run, see the
+/// Engine thread model), so no locking is needed and recycling composes with
+/// exp::Pool workers, each of which warms its own arena on the first cell.
+/// Frames larger than kMaxBlock fall back to ::operator new.
+class FrameArena {
+ public:
+  static void* allocate(std::size_t bytes);
+  static void deallocate(void* p) noexcept;
+
+  /// Counters for this thread's arena; used by tests to prove recycling.
+  struct Stats {
+    std::uint64_t fresh = 0;     ///< blocks carved fresh from a slab
+    std::uint64_t reused = 0;    ///< free-list hits
+    std::uint64_t oversize = 0;  ///< > kMaxBlock, served by ::operator new
+    std::uint64_t live = 0;      ///< currently outstanding blocks
+    std::uint64_t slabs = 0;     ///< slabs allocated so far
+  };
+  [[nodiscard]] static Stats stats() noexcept;
+
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxBlock = 2048;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+};
+
+}  // namespace dlb::sim

@@ -5,10 +5,9 @@ namespace dlb::sim {
 void Mailbox::deliver(Message message) {
   message.delivered_at = engine_.now();
   // Serve the oldest suspended waiter whose filter matches.
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (matches(message, it->tag, it->source)) {
-      const Waiter waiter = *it;
-      waiters_.erase(it);
+  for (std::size_t i = 0; i < waiters_.size(); ++i) {
+    if (matches(message, waiters_[i].tag, waiters_[i].source)) {
+      const Waiter waiter = waiters_.take(i);
       *waiter.slot = std::move(message);
       // Resume via the scheduler (not inline) so delivery cascades cannot
       // recurse arbitrarily deep and ordering stays (time, seq) determined.
@@ -20,19 +19,15 @@ void Mailbox::deliver(Message message) {
 }
 
 std::optional<Message> Mailbox::try_receive(int tag, int source) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, tag, source)) {
-      Message m = std::move(*it);
-      queue_.erase(it);
-      return m;
-    }
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (matches(queue_[i], tag, source)) return queue_.take(i);
   }
   return std::nullopt;
 }
 
 bool Mailbox::has_message(int tag, int source) const noexcept {
-  for (const auto& m : queue_) {
-    if (matches(m, tag, source)) return true;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (matches(queue_[i], tag, source)) return true;
   }
   return false;
 }

@@ -3,12 +3,12 @@
 #include <any>
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <optional>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "support/ring_buffer.hpp"
 
 namespace dlb::sim {
 
@@ -37,7 +37,9 @@ struct Message {
 /// Per-process tagged mailbox with awaitable receive.  Delivery order is
 /// preserved; a receive matches the oldest queued message whose tag/source
 /// satisfy the filter, exactly like PVM's receive semantics.  Suspended
-/// receivers are served in arrival (registration) order.
+/// receivers are served in arrival (registration) order.  Pending messages
+/// and waiters live in ring buffers that stop allocating once warm, so
+/// steady-state delivery is allocation-free.
 class Mailbox {
  public:
   explicit Mailbox(Engine& engine) noexcept : engine_(engine) {}
@@ -93,8 +95,8 @@ class Mailbox {
   }
 
   Engine& engine_;
-  std::deque<Message> queue_;
-  std::deque<Waiter> waiters_;
+  support::RingBuffer<Message> queue_;
+  support::RingBuffer<Waiter> waiters_;
 };
 
 }  // namespace dlb::sim

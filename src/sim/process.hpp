@@ -1,8 +1,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_arena.hpp"
 
 namespace dlb::sim {
 
@@ -11,6 +14,11 @@ namespace dlb::sim {
 /// the current virtual time, and surfaces any escaped exception from
 /// `Engine::run`.  All protocol actors (slaves, load balancers, the network
 /// characterizer) are Processes.
+///
+/// The promise carries an intrusive live-list link plus a completion hook:
+/// spawn() registers the frame with its engine, and final suspend notifies
+/// the engine directly, so the run loop never scans for finished processes.
+/// Frames are allocated from the thread-local FrameArena and recycled.
 class [[nodiscard]] Process {
  public:
   struct promise_type;
@@ -18,12 +26,31 @@ class [[nodiscard]] Process {
 
   struct promise_type {
     std::exception_ptr exception;
+    /// Set by Engine::spawn.  Null while the Process is still owned by the
+    /// caller (engine-less frames stay suspended at final_suspend and are
+    /// destroyed by ~Process).
+    void* engine = nullptr;
+    void (*on_done)(void* engine, Handle h) noexcept = nullptr;
+    promise_type* prev_live = nullptr;
+    promise_type* next_live = nullptr;
+
+    static void* operator new(std::size_t bytes) { return FrameArena::allocate(bytes); }
+    static void operator delete(void* p) noexcept { FrameArena::deallocate(p); }
 
     Process get_return_object() { return Process(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() noexcept { return {}; }
-    // Suspend at the end so the engine can observe completion and reap the
-    // frame; the engine destroys it.
-    std::suspend_always final_suspend() noexcept { return {}; }
+    // At the end the frame either notifies its owning engine (which records
+    // the exception, unlinks and destroys it) or stays suspended for the
+    // owning Process object to destroy.
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Handle h) const noexcept {
+        auto& p = h.promise();
+        if (p.engine != nullptr) p.on_done(p.engine, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() { exception = std::current_exception(); }
   };

@@ -7,8 +7,7 @@ void Resource::release() {
   --in_use_;
   if (!waiters_.empty() && in_use_ < capacity_) {
     ++in_use_;  // the unit is transferred to the waiter before it resumes
-    const auto h = waiters_.front();
-    waiters_.pop_front();
+    const auto h = waiters_.pop_front();
     engine_.schedule_resume(engine_.now(), h);
   }
 }

@@ -2,10 +2,10 @@
 
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
+#include "support/ring_buffer.hpp"
 
 namespace dlb::sim {
 
@@ -53,7 +53,7 @@ class Resource {
   Engine& engine_;
   std::size_t capacity_;
   std::size_t in_use_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  support::RingBuffer<std::coroutine_handle<>> waiters_;
 };
 
 }  // namespace dlb::sim

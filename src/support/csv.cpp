@@ -4,26 +4,45 @@
 
 namespace dlb::support {
 
-std::string csv_escape(const std::string& cell) {
-  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
-  if (!needs_quotes) return cell;
-  std::string out;
-  out.reserve(cell.size() + 2);
+namespace {
+
+// Appends `cell` to `out`, quoting only when required — same contract as
+// csv_escape but without materializing a temporary string per cell.
+void append_escaped(std::string& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+    out += cell;
+    return;
+  }
   out.push_back('"');
   for (char ch : cell) {
     if (ch == '"') out.push_back('"');
     out.push_back(ch);
   }
   out.push_back('"');
+}
+
+}  // namespace
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  append_escaped(out, cell);
   return out;
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  row_buf_.clear();
+  std::size_t upper = cells.size() + 1;  // separators + newline
+  for (const auto& cell : cells) upper += cell.size();
+  row_buf_.reserve(upper);
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i != 0) os_ << ',';
-    os_ << csv_escape(cells[i]);
+    if (i != 0) row_buf_.push_back(',');
+    append_escaped(row_buf_, cells[i]);
   }
-  os_ << '\n';
+  row_buf_.push_back('\n');
+  os_ << row_buf_;
 }
 
 }  // namespace dlb::support

@@ -17,6 +17,9 @@ class CsvWriter {
 
  private:
   std::ostream& os_;
+  // Each row is assembled here and inserted into the stream in one shot;
+  // the capacity is reused across rows so steady-state writes don't allocate.
+  std::string row_buf_;
 };
 
 [[nodiscard]] std::string csv_escape(const std::string& cell);

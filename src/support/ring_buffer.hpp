@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dlb::support {
+
+/// Order-preserving FIFO over a power-of-two circular array, with indexed
+/// access and middle removal.  Replaces std::deque in the simulator's
+/// delivery paths: a deque allocates a map node per block and churns them as
+/// the queue breathes, whereas this buffer reaches a steady state after
+/// warm-up and then performs no allocation per element.  `take()` removes an
+/// element at an arbitrary logical index (tag/source-filtered receives) by
+/// shifting whichever side of the buffer is shorter.
+///
+/// T must be default-constructible and move-assignable; vacated slots keep a
+/// moved-from T (cheap hollow objects for all simulator message types).
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return slots_[slot(i)]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return slots_[slot(i)]; }
+  [[nodiscard]] T& front() noexcept { return slots_[head_]; }
+
+  void push_back(T value) {
+    if (size_ == slots_.size()) grow();
+    slots_[slot(size_)] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T pop_front() {
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+    return out;
+  }
+
+  /// Removes and returns element `i`, preserving the relative order of the
+  /// rest.  Shifts the shorter side, so head/tail removals are O(1).
+  [[nodiscard]] T take(std::size_t i) {
+    T out = std::move((*this)[i]);
+    if (i < size_ - 1 - i) {
+      for (std::size_t k = i; k > 0; --k) (*this)[k] = std::move((*this)[k - 1]);
+      head_ = (head_ + 1) & (slots_.size() - 1);
+    } else {
+      for (std::size_t k = i; k + 1 < size_; ++k) (*this)[k] = std::move((*this)[k + 1]);
+    }
+    --size_;
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t i) const noexcept {
+    return (head_ + i) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<T> fresh(capacity);
+    for (std::size_t k = 0; k < size_; ++k) fresh[k] = std::move((*this)[k]);
+    slots_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dlb::support

@@ -13,6 +13,8 @@
 #include "exp/grid.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
 
 namespace {
 
@@ -110,6 +112,38 @@ TEST(ExpDeterminism, RepeatedRunsAreIdempotent) {
   options.threads = 2;
   const Runner runner(options);
   EXPECT_EQ(csv_of(runner.run(grid)), csv_of(runner.run(grid)));
+}
+
+dlb::sim::Process churn_process(dlb::sim::Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) co_await engine.sleep_for(7);
+}
+
+TEST(ExpDeterminism, WarmFragmentedPoolsProduceIdenticalBytes) {
+  // The engine's call-node pool and the thread-local frame arena recycle
+  // memory across runs.  Fragment them deliberately between two sweeps of
+  // the same grid: the merged bytes must be a function of the grid alone,
+  // independent of pool/arena history.
+  const auto grid = property_grid();
+  RunnerOptions options;
+  options.threads = 2;
+  const Runner runner(options);
+  const auto cold = csv_of(runner.run(grid));
+
+  // Churn this thread's arena and a throwaway engine's pools with a
+  // workload shaped nothing like the sweep's cells.
+  for (int round = 0; round < 3; ++round) {
+    dlb::sim::Engine engine;
+    long long sink = 0;
+    for (int i = 0; i < 300; ++i) {
+      engine.schedule_at(i * 13 % 97, [&sink, i] { sink += i; });
+      engine.spawn(churn_process(engine, i % 5 + 1));
+    }
+    engine.run();
+    ASSERT_GT(sink, 0);
+  }
+
+  EXPECT_EQ(cold, csv_of(runner.run(grid)));
+  EXPECT_EQ(json_of(runner.run(grid)), json_of(runner.run(grid)));
 }
 
 }  // namespace

@@ -1,0 +1,257 @@
+// Stress coverage for the pooled event representation and the coroutine
+// frame arena: deterministic scenarios interleaving schedule_at /
+// schedule_resume (sleeps, mailbox deliveries) / spawn across reuse cycles.
+// The expected (events_executed, final virtual time, checksum) triples were
+// recorded from the pre-pool engine (std::function events, binary heap,
+// plain operator new frames) — the pooled engine must reproduce them bit for
+// bit, proving the (time, seq) ordering contract survived the representation
+// change.
+
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/frame_arena.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using dlb::sim::Engine;
+using dlb::sim::FrameArena;
+using dlb::sim::Mailbox;
+using dlb::sim::Message;
+using dlb::sim::Process;
+using dlb::sim::Task;
+
+struct ScenarioResult {
+  std::size_t events = 0;
+  std::int64_t final_time = 0;
+  long long checksum = 0;
+};
+
+Process scenario_sleeper(Engine& engine, int hops, int stride, long long* acc) {
+  for (int i = 0; i < hops; ++i) {
+    co_await engine.sleep_for(stride);
+    *acc += engine.now() % 89;
+  }
+}
+
+Task<int> scenario_delayed_value(Engine& engine, int v) {
+  co_await engine.sleep_for(v % 7 + 1);
+  co_return v;
+}
+
+Process scenario_spawn_tree(Engine& engine, int depth, long long* acc) {
+  *acc += 1;
+  if (depth > 0) {
+    engine.spawn(scenario_spawn_tree(engine, depth - 1, acc));
+    engine.spawn(scenario_spawn_tree(engine, depth - 1, acc));
+  }
+  *acc += co_await scenario_delayed_value(engine, depth);
+}
+
+Process scenario_consumer(Mailbox& box, int n, long long* acc) {
+  for (int i = 0; i < n; ++i) {
+    const Message m = co_await box.receive();
+    *acc += m.as<int>() + m.delivered_at % 97;
+  }
+}
+
+ScenarioResult run_scenario(int cycle) {
+  Engine engine;
+  long long acc = 0;
+
+  const int calls = 120 + 31 * cycle;
+  for (int i = 0; i < calls; ++i) {
+    engine.schedule_at((i * 37 + cycle * 11) % 997, [&acc, i] { acc += i; });
+  }
+  // A callback whose capture exceeds any small inline buffer, plus one that
+  // schedules into the past (clamps to now) from inside the run.
+  std::array<long long, 16> big{};
+  big.fill(cycle + 1);
+  engine.schedule_at(503, [big, &acc] {
+    for (const auto v : big) acc += v;
+  });
+  engine.schedule_at(700, [&engine, &acc] {
+    engine.schedule_at(100, [&acc, &engine] { acc += engine.now(); });
+  });
+
+  engine.spawn(scenario_sleeper(engine, 40 + cycle, 13, &acc));
+  engine.spawn(scenario_spawn_tree(engine, 3, &acc));
+
+  Mailbox box(engine);
+  const int msgs = 30 + 5 * cycle;
+  engine.spawn(scenario_consumer(box, msgs, &acc));
+  for (int i = 0; i < msgs; ++i) {
+    engine.schedule_at((i * 29 + cycle * 7) % 501, [&box, i] {
+      Message m;
+      m.tag = i % 3;
+      m.payload = i;
+      box.deliver(std::move(m));
+    });
+  }
+
+  acc += engine.run_until(400);
+  const std::int64_t end = engine.run();
+
+  ScenarioResult r;
+  r.events = engine.events_executed();
+  r.final_time = end;
+  r.checksum = acc;
+  return r;
+}
+
+// Triples recorded from the pre-pool engine (see file comment).
+struct Expected {
+  std::size_t events;
+  std::int64_t final_time;
+  long long checksum;
+};
+constexpr Expected kRecorded[] = {
+    {255u, 968, 11842LL},
+    {297u, 981, 16634LL},
+    {339u, 994, 22162LL},
+    {381u, 995, 28611LL},
+    {423u, 985, 36288LL},
+};
+
+TEST(EnginePool, ScenariosMatchPrePoolEngineRecording) {
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const ScenarioResult r = run_scenario(cycle);
+    EXPECT_EQ(r.events, kRecorded[cycle].events) << "cycle " << cycle;
+    EXPECT_EQ(r.final_time, kRecorded[cycle].final_time) << "cycle " << cycle;
+    EXPECT_EQ(r.checksum, kRecorded[cycle].checksum) << "cycle " << cycle;
+  }
+}
+
+TEST(EnginePool, ScenariosIdempotentAcrossPoolReuse) {
+  // Re-running the same scenario reuses pooled call nodes and recycled
+  // frames; the observable triple must not change.
+  const ScenarioResult first = run_scenario(2);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const ScenarioResult again = run_scenario(2);
+    EXPECT_EQ(again.events, first.events);
+    EXPECT_EQ(again.final_time, first.final_time);
+    EXPECT_EQ(again.checksum, first.checksum);
+  }
+}
+
+TEST(EnginePool, FrameArenaRecyclesAcrossEngines) {
+  (void)run_scenario(0);  // warm this thread's arena
+  const FrameArena::Stats warm = FrameArena::stats();
+  (void)run_scenario(0);
+  const FrameArena::Stats after = FrameArena::stats();
+  // The second run allocates every frame from the free lists: no fresh
+  // carves, no new slabs, strictly more reuses.
+  EXPECT_EQ(after.fresh, warm.fresh);
+  EXPECT_EQ(after.slabs, warm.slabs);
+  EXPECT_GT(after.reused, warm.reused);
+  EXPECT_EQ(after.live, warm.live);  // all frames returned
+}
+
+Process trivial(long long* count) {
+  ++*count;
+  co_return;
+}
+
+TEST(EnginePool, SpawnStormStopsAllocatingOnceWarm) {
+  long long count = 0;
+  {
+    Engine engine;
+    for (int i = 0; i < 2000; ++i) engine.spawn(trivial(&count));
+    engine.run();
+  }
+  const FrameArena::Stats warm = FrameArena::stats();
+  {
+    Engine engine;
+    for (int i = 0; i < 2000; ++i) engine.spawn(trivial(&count));
+    engine.run();
+  }
+  const FrameArena::Stats after = FrameArena::stats();
+  EXPECT_EQ(count, 4000);
+  EXPECT_EQ(after.fresh, warm.fresh);
+  EXPECT_GE(after.reused, warm.reused + 2000);
+}
+
+TEST(EnginePool, CallPoolGrowsBeyondOneChunk) {
+  // More simultaneous callables than one pool chunk (64): the pool grows,
+  // never throws, and every event still fires in (time, seq) order.
+  Engine engine;
+  std::int64_t last_seen = -1;
+  int fired = 0;
+  bool ordered = true;
+  for (int i = 0; i < 1000; ++i) {
+    engine.schedule_at(i * 3 % 701, [&, i] {
+      (void)i;
+      if (engine.now() < last_seen) ordered = false;
+      last_seen = engine.now();
+      ++fired;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(engine.events_executed(), 1000u);
+}
+
+TEST(EnginePool, OversizeCallableIsDestroyedAfterInvocation) {
+  const auto token = std::make_shared<int>(7);
+  std::array<char, 128> pad{};  // forces the heap-spill path of CallNode
+  int got = 0;
+  {
+    Engine engine;
+    engine.schedule_at(10, [token, pad, &got] {
+      (void)pad;
+      got = *token;
+    });
+    engine.run();
+    EXPECT_EQ(got, 7);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // the spilled copy was destroyed
+}
+
+TEST(EnginePool, UndeliveredCallablesAreDestroyedWithEngine) {
+  const auto token = std::make_shared<int>(1);
+  {
+    Engine engine;
+    engine.schedule_at(1000, [token] { (void)token; });
+    engine.schedule_at(2000, [token] { (void)token; });
+    engine.run_until(10);  // both events remain queued
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // ~Engine dropped the queued callables
+}
+
+Process forever(Engine& engine) {
+  for (;;) co_await engine.sleep_for(1000);
+}
+
+TEST(EnginePool, SuspendedProcessFramesAreDestroyedWithEngine) {
+  const FrameArena::Stats before = FrameArena::stats();
+  {
+    Engine engine;
+    engine.spawn(forever(engine));
+    engine.run_until(5000);
+  }
+  const FrameArena::Stats after = FrameArena::stats();
+  EXPECT_EQ(after.live, before.live);  // frame reclaimed despite never finishing
+}
+
+TEST(EnginePool, UnspawnedProcessFrameIsReleasedByOwner) {
+  const FrameArena::Stats before = FrameArena::stats();
+  {
+    long long count = 0;
+    const Process p = trivial(&count);
+    EXPECT_FALSE(p.done());
+  }
+  const FrameArena::Stats after = FrameArena::stats();
+  EXPECT_EQ(after.live, before.live);
+}
+
+}  // namespace
