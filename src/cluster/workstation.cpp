@@ -36,6 +36,10 @@ sim::Task<void> Workstation::compute(double ops) {
     // the FIFO queue: a waiting coroutine (e.g. the centralized balancer)
     // gets in, approximating Unix round-robin timesharing.
     co_await cpu_.acquire();
+    if (off_) {
+      cpu_.release();
+      co_return;
+    }
     const sim::SimTime quantum_end =
         cpu_quantum_ > 0 ? engine_.now() + cpu_quantum_ : sim::kTimeInfinity;
     while (remaining > 0.0 && engine_.now() < quantum_end) {
@@ -53,6 +57,10 @@ sim::Task<void> Workstation::compute(double ops) {
         busy_time_ += stop_at - engine_.now();
         co_await engine_.sleep_until(stop_at);
       }
+      if (off_) {
+        cpu_.release();
+        co_return;
+      }
     }
     cpu_.release();
   }
@@ -62,23 +70,36 @@ sim::Task<void> Workstation::compute(double ops) {
 sim::Task<void> Workstation::busy(sim::SimTime duration) {
   if (duration <= 0) co_return;
   co_await cpu_.acquire();
+  if (off_) {
+    cpu_.release();
+    co_return;
+  }
   busy_time_ += duration;
   co_await engine_.sleep_for(duration);
   cpu_.release();
 }
 
-sim::Task<void> Workstation::send(int dst, int tag, std::any payload, std::size_t bytes) {
+sim::Task<void> Workstation::send(int dst, int tag, std::any payload, std::size_t bytes,
+                                  bool droppable) {
   // Packing + transmit syscall occupy this station's CPU (the o_s inside
   // Network::send is the sender-side sleep).
   co_await cpu_.acquire();
-  co_await network_.send(id_, dst, tag, std::move(payload), bytes);
+  if (off_) {
+    cpu_.release();
+    co_return;
+  }
+  co_await network_.send(id_, dst, tag, std::move(payload), bytes, 1.0, droppable);
   cpu_.release();
 }
 
 sim::Task<void> Workstation::multicast(std::span<const int> dsts, int tag, std::any payload,
-                                       std::size_t bytes) {
+                                       std::size_t bytes, bool droppable) {
   co_await cpu_.acquire();
-  co_await network_.multicast(id_, dsts, tag, std::move(payload), bytes);
+  if (off_) {
+    cpu_.release();
+    co_return;
+  }
+  co_await network_.multicast(id_, dsts, tag, std::move(payload), bytes, droppable);
   cpu_.release();
 }
 
@@ -92,8 +113,25 @@ sim::Task<sim::Message> Workstation::receive(int tag, int source) {
   co_return message;
 }
 
+sim::Task<std::optional<sim::Message>> Workstation::receive_until(sim::SimTime deadline,
+                                                                  int tag_lo, int tag_hi,
+                                                                  int source) {
+  std::optional<sim::Message> message =
+      co_await mailbox_.receive_until(deadline, tag_lo, tag_hi, source);
+  if (message && !off_) {
+    co_await cpu_.acquire();
+    co_await engine_.sleep_for(network_.params().receiver_overhead);
+    cpu_.release();
+  }
+  co_return message;
+}
+
 std::optional<sim::Message> Workstation::poll(int tag, int source) {
   return mailbox_.try_receive(tag, source);
+}
+
+std::optional<sim::Message> Workstation::poll_range(int tag_lo, int tag_hi, int source) {
+  return mailbox_.try_receive_range(tag_lo, tag_hi, source);
 }
 
 }  // namespace dlb::cluster

@@ -49,21 +49,41 @@ class Workstation {
   [[nodiscard]] sim::Task<void> busy(sim::SimTime duration);
 
   /// Sends a message (pays sender CPU overhead; delivery is asynchronous).
-  [[nodiscard]] sim::Task<void> send(int dst, int tag, std::any payload, std::size_t bytes);
+  /// `droppable` is the fault-layer loss marking; it has no effect unless a
+  /// drop hook is installed on the network.
+  [[nodiscard]] sim::Task<void> send(int dst, int tag, std::any payload, std::size_t bytes,
+                                     bool droppable = true);
 
   /// Multicasts to every destination except `id()` (pvm_mcast semantics:
   /// pack once, cheaper follow-up sends).
   [[nodiscard]] sim::Task<void> multicast(std::span<const int> dsts, int tag, std::any payload,
-                                          std::size_t bytes);
+                                          std::size_t bytes, bool droppable = true);
 
   /// Blocking receive (pays receiver CPU overhead at consume time).
   [[nodiscard]] sim::Task<sim::Message> receive(int tag = sim::kAnyTag,
                                                 int source = sim::kAnySource);
 
+  /// Receive with a deadline over a closed tag range; yields nullopt on
+  /// timeout.  The unpack overhead is paid only when a message arrived.
+  [[nodiscard]] sim::Task<std::optional<sim::Message>> receive_until(
+      sim::SimTime deadline, int tag_lo, int tag_hi, int source = sim::kAnySource);
+
   /// Non-blocking poll, free of CPU cost — the interrupt check between loop
   /// iterations.
   [[nodiscard]] std::optional<sim::Message> poll(int tag = sim::kAnyTag,
                                                  int source = sim::kAnySource);
+
+  /// Non-blocking poll over a closed tag range, free of CPU cost.
+  [[nodiscard]] std::optional<sim::Message> poll_range(int tag_lo, int tag_hi,
+                                                       int source = sim::kAnySource);
+
+  /// Fault-layer kill switch.  A powered-off station's compute/busy/send
+  /// coroutines bail out at their next scheduling point instead of burning
+  /// virtual time on a machine that no longer exists; `power_on` models the
+  /// owner returning the workstation (revocation end).
+  void power_off() noexcept { off_ = true; }
+  void power_on() noexcept { off_ = false; }
+  [[nodiscard]] bool powered_off() const noexcept { return off_; }
 
   /// Effective ops/sec at time `t` given the current external load level.
   [[nodiscard]] double effective_rate_at(sim::SimTime t);
@@ -89,6 +109,7 @@ class Workstation {
   sim::SimTime cpu_quantum_;
   double ops_executed_ = 0.0;
   sim::SimTime busy_time_ = 0;
+  bool off_ = false;
 };
 
 }  // namespace dlb::cluster

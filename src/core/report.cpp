@@ -15,6 +15,8 @@ const char* kind_name(ActivityKind k) {
       return "sync";
     case ActivityKind::kMove:
       return "move";
+    case ActivityKind::kRecover:
+      return "recover";
   }
   return "?";
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "fault/injector.hpp"
 
 namespace dlb::core {
 
@@ -49,6 +50,8 @@ struct RunResult {
   std::uint64_t bytes = 0;
   /// Per-processor activity segments (only when DlbConfig::record_trace).
   std::shared_ptr<Trace> trace;
+  /// Fault counters (all zero when the plan is disarmed).
+  fault::FaultStats faults;
 
   [[nodiscard]] int total_syncs() const;
   [[nodiscard]] int total_redistributions() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/ft_protocol.hpp"
 #include "core/protocol.hpp"
 #include "sim/time.hpp"
 
@@ -22,9 +23,25 @@ Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
         "pair is single-run — build a fresh Cluster for every run");
   }
   if (config_.record_trace) trace_ = std::make_shared<Trace>();
+  if (config_.faults.armed()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.faults, cluster_.size(),
+                                                       cluster_.params().seed);
+    injector_->arm(cluster_.engine(), cluster_.network());
+    // Baseline handlers; run_ft_loop swaps in its bookkeeping handler for the
+    // duration of each loop and restores this one on exit.
+    injector_->set_death_handler([this](int p) {
+      cluster_.station(p).power_off();
+      cluster_.station(p).mailbox().cancel_waiters();
+    });
+    injector_->set_rejoin_handler([this](int p) { cluster_.station(p).power_on(); });
+  }
 }
 
-LoopRunStats Runtime::execute_loop(const LoopDescriptor& loop) {
+LoopRunStats Runtime::execute_loop(const LoopDescriptor& loop, int loop_index) {
+  if (injector_ != nullptr) {
+    return run_ft_loop(loop, config_, cluster_, *injector_, loop_index, trace_.get());
+  }
+
   LoopContext ctx = LoopContext::make(loop, config_, cluster_);
   ctx.trace = trace_.get();
   auto& engine = cluster_.engine();
@@ -64,11 +81,33 @@ void Runtime::execute_phase(const SequentialPhase& phase, const LoopRunStats& pr
     gather_bytes[p] = static_cast<double>(previous.executed_per_proc[p]) *
                       phase.gather_bytes_per_iteration;
   }
+  if (injector_ != nullptr) {
+    run_ft_phase(cluster_, phase, gather_bytes, *injector_);
+    return;
+  }
   engine.spawn(phase_master(cluster_, phase, gather_bytes));
   for (int p = 1; p < cluster_.size(); ++p) {
     engine.spawn(phase_slave(cluster_, phase, p, gather_bytes[static_cast<std::size_t>(p)]));
   }
   engine.run();
+}
+
+void Runtime::finish_result(RunResult& result) {
+  if (injector_ != nullptr) {
+    // Unfired timed faults must not linger in the queue, and engine.now() is
+    // inflated by dead stations' drained residue — the survivors' loop finish
+    // times are the real makespan.
+    injector_->cancel_pending();
+    double makespan = 0.0;
+    for (const auto& loop : result.loops) makespan = std::max(makespan, loop.finish_seconds);
+    result.exec_seconds = makespan;
+    result.faults = injector_->stats();
+  } else {
+    result.exec_seconds = sim::to_seconds(cluster_.engine().now());
+  }
+  result.messages = cluster_.network().messages_sent();
+  result.bytes = cluster_.network().bytes_sent();
+  result.trace = trace_;
 }
 
 RunResult Runtime::run() {
@@ -79,15 +118,13 @@ RunResult Runtime::run() {
   result.app_name = app_.name;
   result.strategy_name = strategy_name(config_.strategy);
   for (std::size_t i = 0; i < app_.loops.size(); ++i) {
-    result.loops.push_back(execute_loop(app_.loops[i]));
+    if (injector_ != nullptr) injector_->process_boundary_rejoins();
+    result.loops.push_back(execute_loop(app_.loops[i], static_cast<int>(i)));
     if (!app_.phases.empty() && i + 1 < app_.loops.size()) {
       execute_phase(app_.phases[i], result.loops.back());
     }
   }
-  result.exec_seconds = sim::to_seconds(cluster_.engine().now());
-  result.messages = cluster_.network().messages_sent();
-  result.bytes = cluster_.network().bytes_sent();
-  result.trace = trace_;
+  finish_result(result);
   return result;
 }
 
@@ -101,11 +138,8 @@ RunResult Runtime::run_single_loop(std::size_t loop_index) {
   RunResult result;
   result.app_name = app_.name + "/" + app_.loops[loop_index].name;
   result.strategy_name = strategy_name(config_.strategy);
-  result.loops.push_back(execute_loop(app_.loops[loop_index]));
-  result.exec_seconds = sim::to_seconds(cluster_.engine().now());
-  result.messages = cluster_.network().messages_sent();
-  result.bytes = cluster_.network().bytes_sent();
-  result.trace = trace_;
+  result.loops.push_back(execute_loop(app_.loops[loop_index], static_cast<int>(loop_index)));
+  finish_result(result);
   return result;
 }
 

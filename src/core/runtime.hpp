@@ -6,6 +6,7 @@
 #include "core/run_stats.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "fault/injector.hpp"
 
 namespace dlb::core {
 
@@ -22,6 +23,11 @@ namespace dlb::core {
 /// schemes under the same load.  Distinct Cluster/Runtime pairs share no
 /// mutable state, so independent runs may execute concurrently on different
 /// threads (see exp::Runner).
+///
+/// When DlbConfig::faults is armed, the Runtime owns a FaultInjector seeded
+/// from the cluster seed, arms it against the engine and network, and routes
+/// every loop and phase through the fault-tolerant protocol variants
+/// (ft_protocol.hpp).  A disarmed plan takes the exact fault-free code path.
 class Runtime {
  public:
   Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config);
@@ -34,13 +40,15 @@ class Runtime {
   [[nodiscard]] RunResult run_single_loop(std::size_t loop_index);
 
  private:
-  [[nodiscard]] LoopRunStats execute_loop(const LoopDescriptor& loop);
+  [[nodiscard]] LoopRunStats execute_loop(const LoopDescriptor& loop, int loop_index);
   void execute_phase(const SequentialPhase& phase, const LoopRunStats& previous);
+  void finish_result(RunResult& result);
 
   cluster::Cluster& cluster_;
   AppDescriptor app_;
   DlbConfig config_;
   std::shared_ptr<Trace> trace_;
+  std::unique_ptr<fault::FaultInjector> injector_;  // only when faults armed
   bool consumed_ = false;
 };
 

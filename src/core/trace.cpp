@@ -14,6 +14,8 @@ char activity_glyph(ActivityKind k) noexcept {
       return 's';
     case ActivityKind::kMove:
       return 'm';
+    case ActivityKind::kRecover:
+      return 'r';
   }
   return '?';
 }
@@ -53,12 +55,15 @@ std::vector<double> Trace::utilization(int procs) const {
 }
 
 void Trace::render_gantt(std::ostream& os, int procs, int width) const {
-  if (width < 1) throw std::invalid_argument("Trace: width < 1");
-  if (span_end_ <= 0) {
+  // Degenerate inputs (nothing recorded, zero rows, zero columns) all render
+  // the same placeholder rather than throwing or dividing by the span.
+  if (procs <= 0 || width <= 0 || span_end_ <= 0) {
     os << "(empty trace)\n";
     return;
   }
-  const auto rank = [](char g) { return g == 'm' ? 3 : g == 's' ? 2 : g == '#' ? 1 : 0; };
+  const auto rank = [](char g) {
+    return g == 'r' ? 4 : g == 'm' ? 3 : g == 's' ? 2 : g == '#' ? 1 : 0;
+  };
   for (int p = 0; p < procs; ++p) {
     std::string row(static_cast<std::size_t>(width), '.');
     for (const auto& s : segments_) {
@@ -78,7 +83,7 @@ void Trace::render_gantt(std::ostream& os, int procs, int width) const {
   }
   os << "     0" << std::string(static_cast<std::size_t>(width) - 4, ' ')
      << sim::to_seconds(span_end_) << "s\n";
-  os << "     ('#' compute, 's' synchronize, 'm' move work, '.' idle)\n";
+  os << "     ('#' compute, 's' synchronize, 'm' move work, 'r' recover, '.' idle)\n";
 }
 
 }  // namespace dlb::core

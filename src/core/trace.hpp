@@ -13,6 +13,7 @@ enum class ActivityKind {
   kCompute,  // executing loop iterations
   kSync,     // interrupt / profile exchange / waiting for the verdict
   kMove,     // shipping or receiving migrated work
+  kRecover,  // reclaiming a dead workstation's iterations (fault mode)
 };
 
 [[nodiscard]] char activity_glyph(ActivityKind k) noexcept;
@@ -46,8 +47,10 @@ class Trace {
   [[nodiscard]] std::vector<double> utilization(int procs) const;
 
   /// Renders an ASCII Gantt chart: one row per processor, `width` columns
-  /// spanning [0, span_end]; '#' compute, 's' sync, 'm' move, '.' idle.
-  /// For a column covering several kinds, the most specific (m > s > #) wins.
+  /// spanning [0, span_end]; '#' compute, 's' sync, 'm' move, 'r' recover,
+  /// '.' idle.  For a column covering several kinds, the most specific
+  /// (r > m > s > #) wins.  Degenerate inputs (procs <= 0, width <= 0, or an
+  /// empty span) render as "(empty trace)" instead of dividing by the span.
   void render_gantt(std::ostream& os, int procs, int width = 80) const;
 
  private:

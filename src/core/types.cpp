@@ -130,6 +130,14 @@ void DlbConfig::validate(int procs) const {
     throw std::invalid_argument("DlbConfig: move threshold must be in [0, 1)");
   }
   if (decision_ops < 0.0) throw std::invalid_argument("DlbConfig: negative decision cost");
+  if (faults.armed()) {
+    faults.validate(procs);
+    if (strategy == Strategy::kNoDlb) {
+      throw std::invalid_argument(
+          "DlbConfig: kNoDlb cannot run with faults armed (no balancing rounds "
+          "means no path to re-execute a dead workstation's iterations)");
+    }
+  }
 }
 
 int DlbConfig::effective_group_size(int procs) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "net/params.hpp"
 
 namespace dlb::core {
@@ -123,6 +124,12 @@ struct DlbConfig {
   std::size_t control_bytes = net::kControlMessageBytes;
   /// Record per-processor activity segments (RunResult::trace).
   bool record_trace = false;
+  /// Fault scenario.  A disarmed plan (the default) leaves every protocol on
+  /// the fault-free code path; an armed plan switches the run to the
+  /// fault-tolerant protocol variants.  kNoDlb cannot run armed: with no
+  /// balancing rounds there is no mechanism to re-execute a dead
+  /// workstation's iterations, so validate() rejects the combination.
+  fault::FaultPlan faults;
 
   void validate(int procs) const;
   /// Effective group size for a cluster of `procs` processors.

@@ -27,6 +27,12 @@ struct Selection {
 /// load realization" coincide; the selector feeds the realization straight
 /// into the Predictor, which replays the first window exactly the way the
 /// run-time system will experience it.
+///
+/// The selector is deliberately fault-blind: the analytic model (§5) prices
+/// synchronization and movement, not crashes, so an armed FaultPlan in the
+/// config does not perturb the predictions or the ranking.  Faults only
+/// change the execution — run_auto passes the plan through to run_app, which
+/// switches to the fault-tolerant protocol of the chosen strategy.
 class Selector {
  public:
   Selector(cluster::ClusterParams cluster, net::CollectiveCosts costs, core::DlbConfig config);
@@ -48,6 +54,9 @@ class Selector {
 /// End-to-end convenience implementing Strategy::kAuto: select, then run the
 /// application under the chosen strategy.  Returns the run result (whose
 /// strategy_name records what was chosen) and the selection rationale.
+/// An armed config.faults flows through unchanged: selection is made on the
+/// failure-free model, execution runs fault-tolerant (every ranked strategy
+/// has an FT variant, so the chosen one always supports the plan).
 struct AutoRun {
   Selection selection;
   core::RunResult result;

@@ -6,6 +6,8 @@
 //               [--tl=2,16] [--max-load=5] [--seed0=1000] [--loop=-1]
 //               [--threads=0] [--format=summary|csv|json] [--timing]
 //               [--R=400 --C=400 --R2=400] [--n=30]
+//               [--faults=crash-half|crash-coord|crash-two|revoke-half|
+//                         loss10|crash-loss]   # arm a fault preset
 //
 // Output on stdout is bit-identical for any --threads value (cells are
 // merged in canonical grid order); host timing goes to stderr, and only
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
 
     exp::ReportOptions report;
     report.include_timing = cli.has("timing");
+    report.include_faults = grid.config.faults.armed();
     const auto format = cli.get("format", "summary");
     if (format == "csv") {
       exp::write_csv(std::cout, sweep, report);

@@ -3,13 +3,29 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "apps/mxm.hpp"
 #include "apps/synthetic.hpp"
 #include "apps/trfd.hpp"
+#include "fault/plan.hpp"
 
 namespace dlb::exp {
 
 namespace {
+
+/// Applies a --faults= preset to a parsed grid.  NoDLB cannot run armed
+/// (DlbConfig::validate rejects it — no balancing rounds means no recovery
+/// path), so it is dropped from the strategy axis rather than failing the
+/// whole sweep.
+void apply_faults(ExperimentGrid& grid, const support::Cli& cli) {
+  const auto name = cli.get("faults", "");
+  if (name.empty()) return;
+  grid.config.faults = fault::FaultPlan::preset(name);
+  if (grid.config.faults.armed()) {
+    std::erase(grid.strategies, core::Strategy::kNoDlb);
+  }
+}
 
 std::vector<std::string> split_commas(const std::string& spec) {
   std::vector<std::string> out;
@@ -196,6 +212,7 @@ ExperimentGrid figure_grid(int figure, const support::Cli& cli) {
 ExperimentGrid parse_grid(const support::Cli& cli) {
   if (cli.has("figure")) {
     auto grid = figure_grid(static_cast<int>(cli.get_int("figure", 5)), cli);
+    apply_faults(grid, cli);
     grid.validate();
     return grid;
   }
@@ -215,6 +232,7 @@ ExperimentGrid parse_grid(const support::Cli& cli) {
   grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
   grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
   grid.loop_index = static_cast<int>(cli.get_int("loop", -1));
+  apply_faults(grid, cli);
   grid.validate();
   return grid;
 }

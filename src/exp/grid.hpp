@@ -79,7 +79,10 @@ struct ExperimentGrid {
 ///   --tl=16 --max-load=5 --seeds=3 --seed0=1000 --loop=-1
 ///   --R/--C/--R2 (mxm shape), --n (trfd), --iters/--ops/--bytes (uniform)
 ///   --figure=5|6|7|8 presets the paper grids (app shapes, procs, rates).
-/// Throws std::invalid_argument on unknown app or strategy names.
+///   --faults=none|crash-half|crash-coord|crash-two|revoke-half|loss10|crash-loss
+///     arms a fault preset on every cell; NoDLB is dropped from the strategy
+///     axis when armed (it has no recovery path).
+/// Throws std::invalid_argument on unknown app, strategy or fault names.
 [[nodiscard]] ExperimentGrid parse_grid(const support::Cli& cli);
 
 /// Strategy list from a comma-separated spec of short labels

@@ -12,8 +12,8 @@ namespace dlb::exp {
 
 namespace {
 
-// 12 fixed columns plus the optional wall_seconds one.
-constexpr std::size_t kMaxColumns = 13;
+// 12 fixed columns plus the optional fault and wall_seconds ones.
+constexpr std::size_t kMaxColumns = 21;
 
 std::vector<std::string> header_row(const ReportOptions& options) {
   std::vector<std::string> h;
@@ -21,6 +21,10 @@ std::vector<std::string> header_row(const ReportOptions& options) {
   h.insert(h.end(), {"app",   "procs",  "strategy",        "tl_seconds",
                      "max_load", "seed", "exec_seconds",    "syncs",
                      "redistributions", "iterations_moved", "messages", "bytes"});
+  if (options.include_faults) {
+    h.insert(h.end(), {"faults", "crashes", "revocations", "rejoins", "dropped_frames",
+                       "retries", "recoveries", "iterations_recovered"});
+  }
   if (options.include_timing) h.push_back("wall_seconds");
   return h;
 }
@@ -42,6 +46,19 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
       std::to_string(c.result.messages),
       std::to_string(c.result.bytes),
   });
+  if (options.include_faults) {
+    const auto& f = c.result.faults;
+    row.insert(row.end(), {
+        c.spec.config.faults.name,
+        std::to_string(f.crashes),
+        std::to_string(f.revocations),
+        std::to_string(f.rejoins),
+        std::to_string(f.dropped_frames),
+        std::to_string(f.retries),
+        std::to_string(f.recoveries),
+        std::to_string(f.iterations_recovered),
+    });
+  }
   if (options.include_timing) row.push_back(fmt_exact(c.wall_seconds));
   return row;
 }
@@ -70,8 +87,9 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
     line.clear();
     line += "  {";
     for (std::size_t k = 0; k < header.size(); ++k) {
-      // Numeric columns are every one except app and strategy.
-      const bool quoted = k == 0 || k == 2;
+      // Numeric columns are every one except app, strategy and the fault
+      // preset name.
+      const bool quoted = header[k] == "app" || header[k] == "strategy" || header[k] == "faults";
       if (k) line += ", ";
       line += '"';
       line += header[k];

@@ -12,11 +12,18 @@ struct ReportOptions {
   /// Include per-cell host wall time columns.  Off by default: the result
   /// columns are bit-deterministic across thread counts, timing is not.
   bool include_timing = false;
+  /// Include the fault preset name and counters (crashes, revocations,
+  /// rejoins, dropped_frames, retries, recoveries, iterations_recovered).
+  /// Deterministic like the rest of the result columns — the whole fault
+  /// schedule lives in virtual time.  dlb_sweep turns this on iff the
+  /// grid's plan is armed, so unarmed output stays byte-identical.
+  bool include_faults = false;
 };
 
 /// One CSV/JSON row per cell, canonical grid order.  Columns:
 /// app, procs, strategy, tl_seconds, max_load, seed, exec_seconds, syncs,
-/// redistributions, iterations_moved, messages, bytes [, wall_seconds].
+/// redistributions, iterations_moved, messages, bytes
+/// [, faults..8 fault columns] [, wall_seconds].
 /// exec_seconds is printed with round-trip (max_digits10) precision so
 /// equality of bytes implies equality of doubles.
 void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& options = {});

@@ -1,0 +1,62 @@
+#include "fault/coverage.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dlb::fault {
+
+void CoverageChecker::reset(std::int64_t iterations) {
+  if (iterations < 0) throw std::invalid_argument("CoverageChecker: negative iteration count");
+  owner_.assign(static_cast<std::size_t>(iterations), -1);
+  covered_ = 0;
+}
+
+void CoverageChecker::record(std::int64_t i, int proc) {
+  if (i < 0 || i >= total()) throw std::logic_error("CoverageChecker: index out of range");
+  std::int32_t& slot = owner_[static_cast<std::size_t>(i)];
+  if (slot != -1) {
+    throw std::logic_error("CoverageChecker: iteration " + std::to_string(i) +
+                           " executed twice (proc " + std::to_string(slot) + " then proc " +
+                           std::to_string(proc) + ")");
+  }
+  slot = proc;
+  ++covered_;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> CoverageChecker::wipe(int proc) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  const std::int64_t n = total();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (owner_[static_cast<std::size_t>(i)] == proc) {
+      owner_[static_cast<std::size_t>(i)] = -1;
+      --covered_;
+      if (!ranges.empty() && ranges.back().second == i) {
+        ++ranges.back().second;
+      } else {
+        ranges.emplace_back(i, i + 1);
+      }
+    }
+  }
+  return ranges;
+}
+
+int CoverageChecker::owner(std::int64_t i) const {
+  if (i < 0 || i >= total()) throw std::logic_error("CoverageChecker: index out of range");
+  return owner_[static_cast<std::size_t>(i)];
+}
+
+void CoverageChecker::expect_complete() const {
+  if (complete()) return;
+  std::string gaps;
+  int listed = 0;
+  for (std::int64_t i = 0; i < total() && listed < 8; ++i) {
+    if (owner_[static_cast<std::size_t>(i)] == -1) {
+      gaps += (listed ? ", " : "") + std::to_string(i);
+      ++listed;
+    }
+  }
+  throw std::logic_error("CoverageChecker: " + std::to_string(total() - covered_) + " of " +
+                         std::to_string(total()) + " iterations uncovered (first: " + gaps + ")");
+}
+
+}  // namespace dlb::fault

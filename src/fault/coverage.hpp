@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dlb::fault {
+
+/// Exactly-once ledger for one loop's iterations: records which proc
+/// completed each index, rejects double execution, and on a death hands the
+/// dead proc's completions back for re-execution.  This is the acceptance
+/// oracle — a fault run is correct iff, at loop end, every index is covered
+/// exactly once by a proc that was never wiped afterwards.
+class CoverageChecker {
+ public:
+  /// Starts a new loop of `iterations` indices, all uncovered.
+  void reset(std::int64_t iterations);
+
+  /// Marks index `i` complete by `proc`.  Throws std::logic_error if some
+  /// surviving proc already covered it (the exactly-once violation).
+  void record(std::int64_t i, int proc);
+
+  /// Forgets everything `proc` covered this loop — its results died with it —
+  /// and returns the indices as coalesced [lo, hi) ranges for re-execution.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> wipe(int proc);
+
+  [[nodiscard]] std::int64_t covered() const noexcept { return covered_; }
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return static_cast<std::int64_t>(owner_.size());
+  }
+  [[nodiscard]] bool complete() const noexcept { return covered_ == total(); }
+  /// Owner of index `i`, or -1 while uncovered.
+  [[nodiscard]] int owner(std::int64_t i) const;
+
+  /// Throws std::logic_error naming the first gaps when incomplete.
+  void expect_complete() const;
+
+ private:
+  std::vector<std::int32_t> owner_;
+  std::int64_t covered_ = 0;
+};
+
+}  // namespace dlb::fault

@@ -39,7 +39,7 @@ void Network::attach(int id, sim::Mailbox& mailbox) {
 }
 
 sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::size_t bytes,
-                              double overhead_fraction) {
+                              double overhead_fraction, bool droppable) {
   if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size() ||
       mailboxes_[static_cast<std::size_t>(dst)] == nullptr) {
     throw std::invalid_argument("Network: send to unattached endpoint");
@@ -68,6 +68,13 @@ sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::
   ++messages_sent_;
   bytes_sent_ += bytes;
 
+  // Loss is decided after the medium reservation so a dropped frame costs
+  // the wire exactly what a delivered one does.
+  if (drop_hook_ && drop_hook_(src, dst, tag, bytes, droppable)) {
+    ++messages_dropped_;
+    co_return;
+  }
+
   sim::Mailbox* destination = mailboxes_[static_cast<std::size_t>(dst)];
   engine_.schedule_at(deliver_at, [destination, m = std::move(message)]() mutable {
     destination->deliver(std::move(m));
@@ -75,13 +82,13 @@ sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::
 }
 
 sim::Task<void> Network::multicast(int src, std::span<const int> dsts, int tag,
-                                   std::any payload, std::size_t bytes) {
+                                   std::any payload, std::size_t bytes, bool droppable) {
   bool first = true;
   for (const int dst : dsts) {
     if (dst == src) continue;
     // pvm_mcast packs once: follow-up sends pay only a fraction of o_s.
     co_await send(src, dst, tag, payload, bytes,
-                  first ? 1.0 : params_.multicast_extra_fraction);
+                  first ? 1.0 : params_.multicast_extra_fraction, droppable);
     first = false;
   }
 }

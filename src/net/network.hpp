@@ -2,6 +2,7 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -46,17 +47,34 @@ class Network {
 
   [[nodiscard]] int endpoints() const noexcept { return static_cast<int>(mailboxes_.size()); }
 
+  /// Decides whether a frame is lost after occupying the medium.  Installed
+  /// by the fault layer; `droppable` is the *sender's* marking — protocols
+  /// flag first-attempt messages droppable and retransmissions/acks not, so
+  /// random loss cannot defeat bounded retry.  Frames to (or from) dead
+  /// stations are dropped regardless of the marking.
+  using DropHook = std::function<bool(int src, int dst, int tag, std::size_t bytes,
+                                      bool droppable)>;
+
+  /// Installs (or clears, with an empty function) the loss hook.  When no
+  /// hook is set, send takes the exact pre-fault code path.
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   /// Sends one message.  Occupies the *calling coroutine* (the sender's CPU)
   /// for o_s, then hands the frame to the medium and returns — delivery is
   /// asynchronous, like pvm_send.  `overhead_fraction` scales the sender CPU
-  /// cost (1.0 for a standalone send; less for multicast follow-ups).
+  /// cost (1.0 for a standalone send; less for multicast follow-ups).  A
+  /// frame the drop hook claims still occupies the medium and counts in the
+  /// traffic totals (the collision/garble happens on the wire); only its
+  /// delivery is suppressed.
   [[nodiscard]] sim::Task<void> send(int src, int dst, int tag, std::any payload,
-                                     std::size_t bytes, double overhead_fraction = 1.0);
+                                     std::size_t bytes, double overhead_fraction = 1.0,
+                                     bool droppable = true);
 
   /// Sends to every id in `dsts` (sequential sender-side, like a pvm_mcast
   /// loop).  The payload is copied per destination.
   [[nodiscard]] sim::Task<void> multicast(int src, std::span<const int> dsts, int tag,
-                                          std::any payload, std::size_t bytes);
+                                          std::any payload, std::size_t bytes,
+                                          bool droppable = true);
 
   /// Receives from `mailbox` paying the receiver-side overhead o_r.
   [[nodiscard]] sim::Task<sim::Message> receive(sim::Mailbox& mailbox, int tag = sim::kAnyTag,
@@ -71,6 +89,7 @@ class Network {
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] std::uint64_t bridge_crossings() const noexcept { return bridge_crossings_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
 
  private:
   sim::Engine& engine_;
@@ -79,9 +98,11 @@ class Network {
   std::vector<int> segment_of_;  // empty: everyone on segment 0
   sim::SimTime bridge_latency_ = 0;
   std::vector<sim::Mailbox*> mailboxes_;
+  DropHook drop_hook_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bridge_crossings_ = 0;
+  std::uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace dlb::net

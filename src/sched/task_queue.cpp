@@ -1,7 +1,10 @@
 #include "sched/task_queue.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "net/params.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
@@ -15,7 +18,15 @@ constexpr int kTagChunkReply = 201;
 
 struct ChunkReply {
   std::int64_t lo = 0;
-  std::int64_t hi = 0;  // lo == hi means "queue empty, stop"
+  std::int64_t hi = 0;  // lo == hi means "queue empty, stop"; lo < 0 "retry later"
+};
+
+/// Under faults, a request doubles as the completion ack of the previous
+/// chunk (rDLB-style: results travel back with the next request, so a chunk
+/// is committed only when its ack reaches the master).
+struct ChunkRequest {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // lo == hi: first request, nothing to ack
 };
 
 struct QueueState {
@@ -26,7 +37,25 @@ struct QueueState {
   std::vector<std::int64_t> executed;
   std::vector<sim::SimTime> finished_at;
   core::LoopRunStats stats;
+
+  // Fault mode only.
+  fault::FaultInjector* injector = nullptr;
+  std::vector<ChunkReply> outstanding;  // handed out, not yet acked (per proc)
+  std::vector<ChunkReply> reissue;      // reclaimed from dead workers, FIFO
+  std::int64_t completed = 0;           // iterations committed via acks
 };
+
+void record_handout(QueueState& q, int source, const ChunkReply& reply, std::int64_t remaining) {
+  core::SyncEvent e;
+  e.at_seconds = sim::to_seconds(q.cluster->engine().now());
+  e.round = static_cast<int>(q.stats.events.size());
+  e.initiator = source;
+  e.iterations_moved = reply.hi - reply.lo;
+  e.total_remaining = remaining;
+  e.redistributed = true;
+  e.transfer_messages = 1;
+  q.stats.events.push_back(e);
+}
 
 sim::Process queue_master(QueueState& q) {
   auto& me = q.cluster->station(0);
@@ -40,16 +69,7 @@ sim::Process queue_master(QueueState& q) {
       reply.lo = q.next_index;
       reply.hi = q.next_index + std::min(chunk, total - q.next_index);
       q.next_index = reply.hi;
-
-      core::SyncEvent e;
-      e.at_seconds = sim::to_seconds(me.engine().now());
-      e.round = static_cast<int>(q.stats.events.size());
-      e.initiator = request.source;
-      e.iterations_moved = reply.hi - reply.lo;
-      e.total_remaining = total - q.next_index;
-      e.redistributed = true;
-      e.transfer_messages = 1;
-      q.stats.events.push_back(e);
+      record_handout(q, request.source, reply, total - q.next_index);
     } else {
       ++done_slaves;
     }
@@ -68,6 +88,117 @@ sim::Process queue_slave(QueueState& q, int self) {
     q.executed[static_cast<std::size_t>(self)] += reply.hi - reply.lo;
   }
   q.finished_at[static_cast<std::size_t>(self)] = me.engine().now();
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant variants.  The master keeps a chunk ledger: a chunk is
+// outstanding from handout until its ack arrives with the worker's next
+// request; a worker's death requeues its outstanding chunk for reissue, so
+// every iteration is committed exactly once no matter who dies.  The master
+// (processor 0, which also hosts the queue) is assumed fault-free, as the
+// paper's central queue lives on the submitting host — run_task_queue
+// rejects plans that target it.
+// ---------------------------------------------------------------------------
+
+sim::Process ft_queue_master(QueueState& q) {
+  auto& me = q.cluster->station(0);
+  const std::int64_t total = q.loop->iterations;
+  const sim::SimTime step =
+      sim::from_seconds(q.injector->plan().heartbeat_period_seconds);
+  std::vector<char> stopped(static_cast<std::size_t>(q.cluster->size()), 0);
+  const auto all_stopped = [&] {
+    for (int p = 0; p < q.cluster->size(); ++p) {
+      if (q.injector->alive(p) && stopped[static_cast<std::size_t>(p)] == 0) return false;
+    }
+    return true;
+  };
+  while (q.completed < total || !all_stopped()) {
+    // Bounded wait: a death while we are parked refills the reissue list
+    // without a message, so periodically fall through and re-check.
+    auto m = co_await me.receive_until(me.engine().now() + step, kTagChunkRequest,
+                                       kTagChunkRequest);
+    if (!m) continue;
+    const int src = m->source;
+    const auto& req = m->as<ChunkRequest>();
+    auto& mine = q.outstanding[static_cast<std::size_t>(src)];
+    if (req.lo < req.hi && mine.lo == req.lo && mine.hi == req.hi) {
+      // The ack commits the chunk.  A mismatched ack is from a worker whose
+      // death already requeued the chunk — ignore it, the reissue wins.
+      mine = {};
+      q.completed += req.hi - req.lo;
+      q.executed[static_cast<std::size_t>(src)] += req.hi - req.lo;
+      q.injector->on_progress(0, q.completed, total);
+    }
+    if (!q.injector->alive(src)) continue;  // request outlived its sender
+
+    ChunkReply reply;
+    if (!q.reissue.empty()) {
+      reply = q.reissue.front();
+      q.reissue.erase(q.reissue.begin());
+      record_handout(q, src, reply, total - q.completed - (reply.hi - reply.lo));
+    } else if (q.next_index < total) {
+      const std::int64_t chunk = q.policy->next(total - q.next_index);
+      reply.lo = q.next_index;
+      reply.hi = q.next_index + std::min(chunk, total - q.next_index);
+      q.next_index = reply.hi;
+      record_handout(q, src, reply, total - q.next_index);
+    } else if (q.completed == total) {
+      stopped[static_cast<std::size_t>(src)] = 1;  // stop: reply.lo == reply.hi
+    } else {
+      reply = {-1, -1};  // fresh work may still reappear from a death: retry
+    }
+    if (reply.lo < reply.hi) q.outstanding[static_cast<std::size_t>(src)] = reply;
+    co_await me.send(src, kTagChunkReply, reply, net::kControlMessageBytes,
+                     /*droppable=*/false);
+  }
+}
+
+sim::Process ft_queue_slave(QueueState& q, int self) {
+  auto& me = q.cluster->station(self);
+  const sim::SimTime step =
+      sim::from_seconds(q.injector->plan().heartbeat_period_seconds);
+  ChunkRequest ack;
+  while (!me.powered_off()) {
+    co_await me.send(0, kTagChunkRequest, ack, net::kControlMessageBytes,
+                     /*droppable=*/false);
+    ack = {};
+    if (me.powered_off()) break;
+    std::optional<sim::Message> m;
+    while (!m && !me.powered_off()) {
+      m = co_await me.receive_until(me.engine().now() + step, kTagChunkReply, kTagChunkReply, 0);
+    }
+    if (!m) break;
+    const auto& reply = m->as<ChunkReply>();
+    if (reply.lo < 0) {
+      co_await me.busy(step);  // nothing to hand out right now; ask again
+      continue;
+    }
+    if (reply.lo == reply.hi) break;
+    co_await me.compute(q.loop->ops_in_range(reply.lo, reply.hi));
+    if (me.powered_off()) break;  // died mid-chunk: unacked, master reissues
+    ack = {reply.lo, reply.hi};
+  }
+  q.finished_at[static_cast<std::size_t>(self)] = me.engine().now();
+}
+
+core::RunResult finish_result(QueueState& q, const core::AppDescriptor& app,
+                              const TaskQueueConfig& config) {
+  auto& cluster = *q.cluster;
+  q.stats.executed_per_proc = q.executed;
+  for (const auto t : q.finished_at) q.stats.finish_per_proc.push_back(sim::to_seconds(t));
+  q.stats.syncs = static_cast<int>(q.stats.events.size());
+  for (const auto& e : q.stats.events) {
+    q.stats.iterations_moved += e.iterations_moved;
+    if (e.redistributed) ++q.stats.redistributions;
+  }
+
+  core::RunResult result;
+  result.app_name = app.name;
+  result.strategy_name = queue_scheme_name(config.scheme);
+  result.loops.push_back(std::move(q.stats));
+  result.messages = cluster.network().messages_sent();
+  result.bytes = cluster.network().bytes_sent();
+  return result;
 }
 
 }  // namespace
@@ -90,32 +221,64 @@ core::RunResult run_task_queue(const cluster::ClusterParams& params,
   q.finished_at.assign(static_cast<std::size_t>(cluster.size()), 0);
   q.stats.loop_name = loop.name;
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.armed()) {
+    config.faults.validate(cluster.size());
+    for (const auto& spec : config.faults.events) {
+      const int victim = spec.proc == -1 ? cluster.size() - 1 : spec.proc;
+      if (victim == 0) {
+        throw std::invalid_argument(
+            "run_task_queue: processor 0 hosts the central queue and is assumed "
+            "fault-free; pick another victim");
+      }
+    }
+    injector = std::make_unique<fault::FaultInjector>(config.faults, cluster.size(),
+                                                      params.seed);
+    injector->arm(cluster.engine(), cluster.network());
+    q.injector = injector.get();
+    q.outstanding.assign(static_cast<std::size_t>(cluster.size()), ChunkReply{});
+    injector->set_death_handler([&q, &cluster](int p) {
+      cluster.station(p).power_off();
+      cluster.station(p).mailbox().cancel_waiters();
+      auto& held = q.outstanding[static_cast<std::size_t>(p)];
+      if (held.lo < held.hi) {
+        q.reissue.push_back(held);
+        held = {};
+      }
+    });
+
+    cluster.engine().spawn(ft_queue_master(q));
+    for (int p = 0; p < cluster.size(); ++p) cluster.engine().spawn(ft_queue_slave(q, p));
+    cluster.engine().run();
+
+    if (q.completed != loop.iterations) {
+      throw std::logic_error("run_task_queue: committed iterations != scheduled under faults");
+    }
+    q.stats.finish_seconds = 0.0;
+    for (int p = 0; p < cluster.size(); ++p) {
+      if (injector->alive(p)) {
+        q.stats.finish_seconds = std::max(
+            q.stats.finish_seconds, sim::to_seconds(q.finished_at[static_cast<std::size_t>(p)]));
+      }
+    }
+    auto result = finish_result(q, app, config);
+    result.exec_seconds = result.loops[0].finish_seconds;
+    result.faults = injector->stats();
+    return result;
+  }
+
   cluster.engine().spawn(queue_master(q));
   for (int p = 0; p < cluster.size(); ++p) cluster.engine().spawn(queue_slave(q, p));
   cluster.engine().run();
-
-  q.stats.finish_seconds = sim::to_seconds(cluster.engine().now());
-  q.stats.executed_per_proc = q.executed;
-  for (const auto t : q.finished_at) q.stats.finish_per_proc.push_back(sim::to_seconds(t));
-  q.stats.syncs = static_cast<int>(q.stats.events.size());
-  for (const auto& e : q.stats.events) {
-    q.stats.iterations_moved += e.iterations_moved;
-    if (e.redistributed) ++q.stats.redistributions;
-  }
 
   std::int64_t executed_total = 0;
   for (const auto n : q.executed) executed_total += n;
   if (executed_total != loop.iterations) {
     throw std::logic_error("run_task_queue: iterations executed != scheduled");
   }
-
-  core::RunResult result;
-  result.app_name = app.name;
-  result.strategy_name = queue_scheme_name(config.scheme);
-  result.loops.push_back(std::move(q.stats));
+  q.stats.finish_seconds = sim::to_seconds(cluster.engine().now());
+  auto result = finish_result(q, app, config);
   result.exec_seconds = sim::to_seconds(cluster.engine().now());
-  result.messages = cluster.network().messages_sent();
-  result.bytes = cluster.network().bytes_sent();
   return result;
 }
 

@@ -44,6 +44,8 @@ Engine::CallNode* Engine::acquire_call_node() {
 }
 
 void Engine::release_call_node(CallNode* node) noexcept {
+  ++node->gen;  // stale Timer handles must no longer match
+  node->cancelled = false;
   node->next_free = free_calls_;
   free_calls_ = node;
 }
@@ -102,6 +104,17 @@ SimTime Engine::run() { return run_until(kTimeInfinity); }
 SimTime Engine::run_until(SimTime deadline) {
   while (!events_.empty()) {
     const Event ev = events_.front();
+    if (ev.is_call) {
+      auto* node = reinterpret_cast<CallNode*>(ev.payload);
+      if (node->cancelled) {
+        // Cancelled callback: discard without advancing virtual time or
+        // counting an executed event.
+        remove_front_event();
+        node->drop(*node);
+        release_call_node(node);
+        continue;
+      }
+    }
     if (ev.at > deadline) {
       now_ = deadline;
       return now_;

@@ -49,7 +49,6 @@ class Engine {
   void schedule_at(SimTime at, Fn&& fn) {
     static_assert(std::is_invocable_r_v<void, std::decay_t<Fn>&>,
                   "schedule_at callable must be invocable as void()");
-    using Decayed = std::decay_t<Fn>;
     CallNode* node = acquire_call_node();
     try {
       construct_call(node, std::forward<Fn>(fn));
@@ -99,6 +98,48 @@ class Engine {
   }
 
  public:
+  /// Handle to a `schedule_cancellable_at` callback.  Generation-checked:
+  /// once the callback fires (or is cancelled) the handle goes stale and
+  /// further `cancel` calls are safe no-ops, even after the underlying node
+  /// has been recycled for another callback.
+  class Timer {
+   public:
+    Timer() = default;
+
+   private:
+    friend class Engine;
+    CallNode* node_ = nullptr;
+    std::uint64_t gen_ = 0;
+  };
+
+  /// Like `schedule_at`, but returns a handle that can cancel the callback
+  /// before it fires.  A cancelled callback is destroyed unrun and — unlike
+  /// scheduling a no-op — virtual time never advances to its deadline: the
+  /// queued record is discarded when it reaches the heap root, so a run whose
+  /// real work ends earlier is not stretched by dead timers.
+  template <typename Fn>
+  [[nodiscard]] Timer schedule_cancellable_at(SimTime at, Fn&& fn) {
+    CallNode* node = acquire_call_node();
+    try {
+      construct_call(node, std::forward<Fn>(fn));
+    } catch (...) {
+      release_call_node(node);
+      throw;
+    }
+    push_call_event(at, node);
+    Timer timer;
+    timer.node_ = node;
+    timer.gen_ = node->gen;
+    return timer;
+  }
+
+  /// Cancels a pending cancellable callback; no-op on a stale handle.
+  void cancel(Timer& timer) noexcept {
+    CallNode* node = timer.node_;
+    timer.node_ = nullptr;
+    if (node != nullptr && node->gen == timer.gen_) node->cancelled = true;
+  }
+
   /// Schedules a coroutine resume at absolute virtual time `at`.  This is
   /// the fast path: the record holds the bare handle, no callable is built.
   /// Never throws mid-run: the queue grows geometrically and allocation
@@ -154,6 +195,8 @@ class Engine {
     void (*run)(CallNode&);            // invoke, then destroy the callable
     void (*drop)(CallNode&) noexcept;  // destroy without invoking (teardown)
     CallNode* next_free;
+    std::uint64_t gen;  // bumped on recycle; validates Timer handles
+    bool cancelled;     // set by Engine::cancel; record skipped at heap root
   };
 
   /// 32-byte POD heap record.  `payload` is either a CallNode* or the

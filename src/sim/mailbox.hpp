@@ -1,10 +1,13 @@
 #pragma once
 
 #include <any>
+#include <climits>
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -40,6 +43,11 @@ struct Message {
 /// receivers are served in arrival (registration) order.  Pending messages
 /// and waiters live in ring buffers that stop allocating once warm, so
 /// steady-state delivery is allocation-free.
+///
+/// Filters are closed tag *ranges* [tag_lo, tag_hi] plus an optional source;
+/// the single-tag receive is the degenerate range.  Range receives let the
+/// fault-tolerant protocol wait on its whole contiguous tag block in one
+/// suspension and dispatch on the tag it got.
 class Mailbox {
  public:
   explicit Mailbox(Engine& engine) noexcept : engine_(engine) {}
@@ -54,10 +62,21 @@ class Mailbox {
   /// iterations (the DLB_slave_sync check in the paper's Fig. 3).
   [[nodiscard]] std::optional<Message> try_receive(int tag = kAnyTag, int source = kAnySource);
 
+  /// Non-blocking probe-and-take over a closed tag range.
+  [[nodiscard]] std::optional<Message> try_receive_range(int tag_lo, int tag_hi,
+                                                         int source = kAnySource);
+
   /// True iff a matching message is queued.
   [[nodiscard]] bool has_message(int tag = kAnyTag, int source = kAnySource) const noexcept;
 
   [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+  /// Resumes every suspended receiver empty-handed: deadline receives yield
+  /// nullopt as if timed out (their deadline timers are cancelled); a plain
+  /// `receive` waiter throws from await_resume.  Used by the fault layer to
+  /// flush a crashed workstation's parked protocol coroutines — which by
+  /// construction only ever park in deadline receives.
+  void cancel_waiters();
 
   /// Awaitable receive.  Suspends until a matching message is delivered.
   [[nodiscard]] auto receive(int tag = kAnyTag, int source = kAnySource) {
@@ -72,7 +91,9 @@ class Mailbox {
         return taken.has_value();
       }
       void await_suspend(std::coroutine_handle<> h) {
-        mailbox.waiters_.push_back(Waiter{tag, source, h, &taken});
+        const auto [lo, hi] = tag_bounds(tag);
+        mailbox.waiters_.push_back(
+            Waiter{lo, hi, source, h, &taken, mailbox.next_waiter_id_++, Engine::Timer{}});
       }
       Message await_resume() {
         if (!taken) throw std::logic_error("Mailbox: resumed without a message");
@@ -82,21 +103,69 @@ class Mailbox {
     return Awaiter{*this, tag, source, std::nullopt};
   }
 
+  /// Awaitable receive with a deadline: suspends until a message whose tag
+  /// lies in [tag_lo, tag_hi] (and matches `source`) is delivered, or until
+  /// absolute virtual time `deadline` passes — whichever comes first.  Yields
+  /// the message, or nullopt on timeout.  The deadline timer is cancellable,
+  /// so an early delivery leaves no residue that would stretch the run.
+  [[nodiscard]] auto receive_until(SimTime deadline, int tag_lo, int tag_hi,
+                                   int source = kAnySource) {
+    struct Awaiter {
+      Mailbox& mailbox;
+      SimTime deadline;
+      int tag_lo;
+      int tag_hi;
+      int source;
+      std::optional<Message> taken;
+
+      bool await_ready() {
+        taken = mailbox.try_receive_range(tag_lo, tag_hi, source);
+        return taken.has_value() || deadline <= mailbox.engine_.now();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        const std::uint64_t id = mailbox.next_waiter_id_++;
+        Engine::Timer timer = mailbox.engine_.schedule_cancellable_at(
+            deadline, [m = &mailbox, id] { m->expire_waiter(id); });
+        mailbox.waiters_.push_back(Waiter{tag_lo, tag_hi, source, h, &taken, id, timer});
+      }
+      std::optional<Message> await_resume() { return std::move(taken); }
+    };
+    return Awaiter{*this, deadline, tag_lo, tag_hi, source, std::nullopt};
+  }
+
  private:
   struct Waiter {
-    int tag;
+    int tag_lo;
+    int tag_hi;
     int source;
     std::coroutine_handle<> handle;
     std::optional<Message>* slot;  // lives in the suspended coroutine frame
+    std::uint64_t id;
+    Engine::Timer timer;  // armed only for deadline receives
   };
+
+  /// Maps a single-tag filter onto the range representation.
+  static constexpr std::pair<int, int> tag_bounds(int tag) noexcept {
+    return tag == kAnyTag ? std::pair{INT_MIN, INT_MAX} : std::pair{tag, tag};
+  }
 
   static bool matches(const Message& m, int tag, int source) noexcept {
     return (tag == kAnyTag || m.tag == tag) && (source == kAnySource || m.source == source);
   }
 
+  static bool matches_range(const Message& m, int tag_lo, int tag_hi, int source) noexcept {
+    return m.tag >= tag_lo && m.tag <= tag_hi && (source == kAnySource || m.source == source);
+  }
+
+  /// Deadline-timer callback: resumes waiter `id` empty-handed.  No-op if the
+  /// waiter was already served (the timer is then stale only when cancel
+  /// raced — deliver cancels it, so normally this never fires after service).
+  void expire_waiter(std::uint64_t id);
+
   Engine& engine_;
   support::RingBuffer<Message> queue_;
   support::RingBuffer<Waiter> waiters_;
+  std::uint64_t next_waiter_id_ = 0;
 };
 
 }  // namespace dlb::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <coroutine>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::sim {
+
+/// One-shot cancellable virtual-time sleep.  A coroutine awaits
+/// `wait_until(at)` / `wait_for(d)`; any other coroutine (or an engine
+/// callback) may call `cancel()`, which wakes the sleeper immediately.  The
+/// await expression yields `true` when the deadline actually expired and
+/// `false` when the sleep was cancelled.  One outstanding sleeper at a time;
+/// the object is reusable once that sleeper has resumed.
+///
+/// Built on Engine::schedule_cancellable_at so a cancelled sleep leaves no
+/// time-advancing residue in the event queue.  This matters to the fault
+/// layer: heartbeat emitters park in long sleeps, and cancelling them at loop
+/// completion (or on the emitter's own death) must not inflate the measured
+/// makespan past the last real event.
+///
+/// Lifetime: destroy only when no sleeper is pending or after the engine has
+/// drained; a pending timer is cancelled on destruction but a still-parked
+/// sleeper is not resumed (the engine's teardown reclaims its frame).
+class CancellableSleep {
+ public:
+  explicit CancellableSleep(Engine& engine) noexcept : engine_(engine) {}
+  CancellableSleep(const CancellableSleep&) = delete;
+  CancellableSleep& operator=(const CancellableSleep&) = delete;
+  ~CancellableSleep() {
+    if (pending()) engine_.cancel(timer_);
+  }
+
+  [[nodiscard]] bool pending() const noexcept { return waiter_ != nullptr; }
+
+  /// Wakes a pending sleeper now; its await yields false.  No-op otherwise.
+  /// The resume goes through the scheduler so callers in arbitrary coroutine
+  /// or callback context never nest a resume on their own stack.
+  void cancel() noexcept {
+    if (waiter_ == nullptr) return;
+    engine_.cancel(timer_);
+    expired_ = false;
+    engine_.schedule_resume(engine_.now(), std::exchange(waiter_, nullptr));
+  }
+
+  [[nodiscard]] auto wait_until(SimTime at) noexcept {
+    struct Awaiter {
+      CancellableSleep& sleep;
+      SimTime at;
+
+      bool await_ready() noexcept {
+        if (at > sleep.engine_.now()) return false;
+        sleep.expired_ = true;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sleep.waiter_ = h;
+        sleep.timer_ = sleep.engine_.schedule_cancellable_at(at, [s = &sleep] {
+          if (s->waiter_ == nullptr) return;
+          s->expired_ = true;
+          // Fire in place: this callback *is* the deadline event.
+          std::exchange(s->waiter_, nullptr).resume();
+        });
+      }
+      [[nodiscard]] bool await_resume() const noexcept { return sleep.expired_; }
+    };
+    return Awaiter{*this, at};
+  }
+
+  [[nodiscard]] auto wait_for(SimTime duration) noexcept {
+    return wait_until(duration <= 0 ? engine_.now() : engine_.now() + duration);
+  }
+
+ private:
+  Engine& engine_;
+  std::coroutine_handle<> waiter_ = nullptr;
+  Engine::Timer timer_;
+  bool expired_ = true;
+};
+
+}  // namespace dlb::sim

@@ -63,6 +63,42 @@ TEST(Trace, GanttEmptyTrace) {
   EXPECT_NE(os.str().find("empty"), std::string::npos);
 }
 
+TEST(Trace, GanttDegenerateDimensions) {
+  // Zero/negative rows or columns must render the placeholder, not divide by
+  // the span or index an empty row.
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  for (const auto& [procs, width] : {std::pair{0, 20}, {-1, 20}, {2, 0}, {2, -5}}) {
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.render_gantt(os, procs, width));
+    EXPECT_NE(os.str().find("empty"), std::string::npos) << procs << "x" << width;
+  }
+}
+
+TEST(Trace, GanttRendersRecoverGlyph) {
+  Trace t;
+  t.record(0, ActivityKind::kRecover, 0, from_seconds(1.0));
+  std::ostringstream os;
+  t.render_gantt(os, 1, 10);
+  const std::string row = os.str().substr(0, os.str().find('\n'));
+  EXPECT_NE(row.find('r'), std::string::npos);
+}
+
+TEST(Trace, RecoverOutranksEveryOtherGlyph) {
+  // Re-execution of a dead workstation's iterations is the rarest and most
+  // interesting activity, so an overlapping recover segment must win the cell.
+  for (const auto under : {ActivityKind::kCompute, ActivityKind::kSync, ActivityKind::kMove}) {
+    Trace t;
+    t.record(0, under, 0, from_seconds(1.0));
+    t.record(0, ActivityKind::kRecover, 0, from_seconds(1.0));
+    std::ostringstream os;
+    t.render_gantt(os, 1, 10);
+    const std::string row = os.str().substr(0, os.str().find('\n'));
+    EXPECT_EQ(row.find(dlb::core::activity_glyph(under)), std::string::npos);
+    EXPECT_NE(row.find('r'), std::string::npos);
+  }
+}
+
 TEST(Trace, MoreSpecificGlyphWins) {
   Trace t;
   t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));

@@ -6,6 +6,7 @@
 #include "apps/synthetic.hpp"
 #include "apps/trfd.hpp"
 #include "core/runtime.hpp"
+#include "fault/plan.hpp"
 #include "net/characterize.hpp"
 
 namespace {
@@ -82,6 +83,36 @@ TEST(RunAuto, RunsUnderChosenStrategy) {
   const auto result = run_auto(params_for(4), app, DlbConfig{}, costs());
   EXPECT_EQ(result.result.strategy_name,
             dlb::core::strategy_name(result.selection.chosen));
+  EXPECT_GT(result.result.exec_seconds, 0.0);
+}
+
+TEST(Selector, PredictionsAreFaultBlind) {
+  // The §5 model prices synchronization and movement, not crashes: arming a
+  // plan must leave the predicted ranking untouched.
+  const auto app = dlb::apps::make_uniform(64, 50e3, 64.0);
+  DlbConfig armed;
+  armed.faults = dlb::fault::FaultPlan::preset("crash-half");
+  const auto plain = Selector(params_for(4), costs(), DlbConfig{}).select(app);
+  const auto under_faults = Selector(params_for(4), costs(), armed).select(app);
+  EXPECT_EQ(plain.predicted_order, under_faults.predicted_order);
+  EXPECT_EQ(plain.chosen, under_faults.chosen);
+  for (int id = 0; id < 4; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    EXPECT_DOUBLE_EQ(plain.predictions[i].makespan_seconds,
+                     under_faults.predictions[i].makespan_seconds);
+  }
+}
+
+TEST(RunAuto, ArmedPlanFlowsThroughToTheRun) {
+  // Selection happens on the failure-free model; the chosen strategy then
+  // executes its fault-tolerant variant and survives the crash.
+  const auto app = dlb::apps::make_uniform(64, 25e3, 8.0);
+  DlbConfig config;
+  config.faults = dlb::fault::FaultPlan::preset("crash-half");
+  const auto result = run_auto(params_for(4), app, config, costs());
+  EXPECT_EQ(result.result.strategy_name,
+            dlb::core::strategy_name(result.selection.chosen));
+  EXPECT_EQ(result.result.faults.crashes, 1);
   EXPECT_GT(result.result.exec_seconds, 0.0);
 }
 

@@ -1,0 +1,126 @@
+#include "support/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using dlb::support::RingBuffer;
+
+std::vector<int> contents(const RingBuffer<int>& rb) {
+  std::vector<int> out;
+  out.reserve(rb.size());
+  for (std::size_t i = 0; i < rb.size(); ++i) out.push_back(rb[i]);
+  return out;
+}
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb;
+  for (int v = 0; v < 5; ++v) rb.push_back(v);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(rb.pop_front(), v);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, GrowsThroughPowerOfTwoCapacities) {
+  // Initial capacity is 16, doubling afterwards; crossing 16, 32, and 64
+  // elements must preserve both contents and order.
+  RingBuffer<int> rb;
+  std::vector<int> expect;
+  for (int v = 0; v < 100; ++v) {
+    rb.push_back(v);
+    expect.push_back(v);
+    ASSERT_EQ(rb.size(), expect.size());
+  }
+  EXPECT_EQ(contents(rb), expect);
+  EXPECT_EQ(rb.front(), 0);
+}
+
+TEST(RingBuffer, GrowWithWrappedHeadRelinearizes) {
+  // Push/pop until head sits mid-array, then force a grow: the copy-out must
+  // start at the logical front, not slot 0.
+  RingBuffer<int> rb;
+  for (int v = 0; v < 16; ++v) rb.push_back(v);  // full at capacity 16
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(rb.pop_front(), v);
+  for (int v = 16; v < 26; ++v) rb.push_back(v);  // wraps physically
+  rb.push_back(26);                               // 17th live element: grow
+  std::vector<int> expect;
+  for (int v = 10; v <= 26; ++v) expect.push_back(v);
+  EXPECT_EQ(contents(rb), expect);
+}
+
+TEST(RingBuffer, WraparoundSteadyState) {
+  RingBuffer<int> rb;
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    rb.push_back(next_in++);
+    rb.push_back(next_in++);
+    EXPECT_EQ(rb.pop_front(), next_out++);
+    if (round % 2 == 0) {
+      EXPECT_EQ(rb.pop_front(), next_out++);
+    }
+  }
+  // 2 pushes vs ~1.5 pops per round: the queue breathes around a small size
+  // while head/tail lap the array many times.
+  EXPECT_EQ(rb.size(), static_cast<std::size_t>(next_in - next_out));
+  EXPECT_EQ(rb.front(), next_out);
+}
+
+TEST(RingBuffer, TakeFromTheMiddlePreservesOrder) {
+  RingBuffer<int> rb;
+  for (int v = 0; v < 7; ++v) rb.push_back(v);
+  EXPECT_EQ(rb.take(3), 3);
+  EXPECT_EQ(contents(rb), (std::vector<int>{0, 1, 2, 4, 5, 6}));
+  EXPECT_EQ(rb.take(0), 0);  // head removal, O(1) side
+  EXPECT_EQ(contents(rb), (std::vector<int>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(rb.take(4), 6);  // tail removal, O(1) side
+  EXPECT_EQ(contents(rb), (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(RingBuffer, TakeAcrossTheWrapSeam) {
+  RingBuffer<int> rb;
+  for (int v = 0; v < 16; ++v) rb.push_back(v);
+  for (int v = 0; v < 12; ++v) (void)rb.pop_front();
+  for (int v = 16; v < 24; ++v) rb.push_back(v);  // live range straddles slot 0
+  // Logical contents: 12..23.  Remove one element on each physical side of
+  // the seam and check order each time.
+  EXPECT_EQ(rb.take(2), 14);
+  EXPECT_EQ(contents(rb), (std::vector<int>{12, 13, 15, 16, 17, 18, 19, 20, 21, 22, 23}));
+  EXPECT_EQ(rb.take(7), 20);
+  EXPECT_EQ(contents(rb), (std::vector<int>{12, 13, 15, 16, 17, 18, 19, 21, 22, 23}));
+}
+
+TEST(RingBuffer, TakeEveryPositionExhaustively) {
+  // For each removal position of an 11-element queue, the survivors must
+  // appear in their original relative order.
+  for (std::size_t kill = 0; kill < 11; ++kill) {
+    RingBuffer<int> rb;
+    for (int v = 0; v < 11; ++v) rb.push_back(v);
+    EXPECT_EQ(rb.take(kill), static_cast<int>(kill));
+    std::vector<int> expect;
+    for (int v = 0; v < 11; ++v) {
+      if (v != static_cast<int>(kill)) expect.push_back(v);
+    }
+    EXPECT_EQ(contents(rb), expect) << "removed index " << kill;
+  }
+}
+
+TEST(RingBuffer, MoveOnlyFriendly) {
+  RingBuffer<std::string> rb;
+  rb.push_back(std::string(64, 'a'));  // beyond SSO so moves are observable
+  rb.push_back(std::string(64, 'b'));
+  rb.push_back(std::string(64, 'c'));
+  EXPECT_EQ(rb.take(1), std::string(64, 'b'));
+  EXPECT_EQ(rb.pop_front(), std::string(64, 'a'));
+  EXPECT_EQ(rb.pop_front(), std::string(64, 'c'));
+}
+
+}  // namespace
