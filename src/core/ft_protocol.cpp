@@ -151,6 +151,16 @@ struct FtSlaveState {
 
 bool is_alive(const FtState& ft, int p) { return ft.injector->alive(p); }
 
+/// Retry bookkeeping shared by every retransmission site: the injector's
+/// counter always, plus an observability mark when the recorder is armed.
+void count_retry(FtState& ft, int proc) {
+  ++ft.injector->stats().retries;
+  if (ft.ctx->obs != nullptr) {
+    ft.ctx->obs->instant(proc, obs::InstantKind::kRetry, ft.ctx->cluster->engine().now());
+    ft.ctx->obs->metrics().counter("proto.retries").increment();
+  }
+}
+
 void note_heard(FtState& ft, int observer, int peer) {
   if (peer < 0 || peer >= ft.ctx->procs()) return;
   ft.last_heard[static_cast<std::size_t>(observer)][static_cast<std::size_t>(peer)] =
@@ -377,6 +387,9 @@ sim::Task<FtOutcomeMsg> ft_decide(FtState& ft, int station_id, int g,
     if (ctx.trace != nullptr && began != me.engine().now()) {
       ctx.trace->record(station_id, ActivityKind::kRecover, began, me.engine().now());
     }
+    if (ctx.obs != nullptr && began != me.engine().now()) {
+      ctx.obs->phase(station_id, obs::PhaseKind::kRecovery, began, me.engine().now(), n);
+    }
   }
 
   // Profiles report what each member owned when it parked; refresh from the
@@ -484,7 +497,7 @@ sim::Task<FtStatus> ft_apply(FtState& ft, int self, FtSlaveState& st, const FtOu
         }
         if (ledger_contains(ft, wm.ship) && is_alive(ft, t.to)) {
           ++attempt;
-          ++ft.injector->stats().retries;
+          count_retry(ft, self);
           if (attempt > 6) attempt = 6;  // cap backoff; ground truth says the peer lives
         }
       }
@@ -583,7 +596,7 @@ sim::Task<FtStatus> ft_coordinate(FtState& ft, int self, FtSlaveState& st) {
     for (const int q : missing) {
       co_await me.send(q, ft_tag(g, kFtOffInterrupt), im, ctx.config.control_bytes,
                        /*droppable=*/false);
-      ++ft.injector->stats().retries;
+      count_retry(ft, self);
       if (!is_alive(ft, self)) co_return FtStatus::kDead;
     }
     ++attempt;
@@ -674,7 +687,7 @@ sim::Task<FtStatus> ft_participate(FtState& ft, int self, FtSlaveState& st) {
       }
       (void)co_await handle_bg(ft, self, st, std::move(*m));
     }
-    if (!resend_now) ++ft.injector->stats().retries;
+    if (!resend_now) count_retry(ft, self);
     ++attempt;
     if (attempt > 6) attempt = 6;  // keep retrying: a live coordinator answers eventually
   }
@@ -885,7 +898,7 @@ sim::Process ft_central_balancer(FtState& ft, int station_id) {
       for (const int q : missing) {
         co_await me.send(q, ft_tag(g, kFtOffInterrupt), im, ctx.config.control_bytes,
                          /*droppable=*/false);
-        ++ft.injector->stats().retries;
+        count_retry(ft, station_id);
       }
       ++attempt;
       if (attempt > 6) attempt = 6;
@@ -971,6 +984,9 @@ sim::Process ft_recovery_slave(FtState& ft, FtState::Recovery& rec) {
       ft.injector->stats().iterations_recovered += n;
       if (ctx.trace != nullptr && began != me.engine().now()) {
         ctx.trace->record(rec.proc, ActivityKind::kRecover, began, me.engine().now());
+      }
+      if (ctx.obs != nullptr && began != me.engine().now()) {
+        ctx.obs->phase(rec.proc, obs::PhaseKind::kRecovery, began, me.engine().now(), n);
       }
       continue;
     }
@@ -1105,9 +1121,10 @@ double auto_ack_timeout_seconds(const LoopDescriptor& loop, const cluster::Clust
 
 LoopRunStats run_ft_loop(const LoopDescriptor& loop, const DlbConfig& config,
                          cluster::Cluster& cluster, fault::FaultInjector& injector,
-                         int loop_index, Trace* trace) {
+                         int loop_index, Trace* trace, obs::Recorder* obs) {
   LoopContext ctx = LoopContext::make(loop, config, cluster);
   ctx.trace = trace;
+  ctx.obs = obs;
   auto& engine = cluster.engine();
 
   // Re-partition among the survivors: a dead station gets nothing, a revoked

@@ -43,7 +43,8 @@ inline constexpr int kFtCentralProfileBase = 4000;
 /// convenience.
 [[nodiscard]] LoopRunStats run_ft_loop(const LoopDescriptor& loop, const DlbConfig& config,
                                        cluster::Cluster& cluster, fault::FaultInjector& injector,
-                                       int loop_index, Trace* trace);
+                                       int loop_index, Trace* trace,
+                                       obs::Recorder* obs = nullptr);
 
 /// Fault-tolerant sequential phase: gather/scatter with timeouts and
 /// ground-truth liveness checks.  The master is the lowest surviving rank at

@@ -6,12 +6,27 @@
 
 #include "core/groups.hpp"
 
+#include "sim/frame_arena.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace dlb::core {
 
 namespace {
+
+/// Samples the simulator-health series at a synchronization boundary: the
+/// event-queue depth and the arena occupancy.  Sync points are where queue
+/// pressure peaks (every member wakes at once), which makes them the
+/// interesting sampling instants — and they are deterministic in virtual
+/// time, unlike any wall-clock cadence.
+void sample_engine_health(LoopContext& ctx) {
+  if (ctx.obs == nullptr) return;
+  auto& engine = ctx.cluster->engine();
+  ctx.obs->sample("engine.queue_depth", engine.now(),
+                  static_cast<double>(engine.queue_depth()));
+  ctx.obs->sample("arena.live", engine.now(),
+                  static_cast<double>(sim::FrameArena::stats().live));
+}
 
 enum class SyncStatus { kContinue, kInactive, kLoopDone };
 
@@ -69,6 +84,7 @@ sim::Task<SyncStatus> apply_plan(LoopContext& ctx, int self, SlaveState& st, boo
 
   if (moved) {
     const sim::SimTime move_began = me.engine().now();
+    std::int64_t iterations_shipped = 0;
     // All outbound shipments first (sends are asynchronous), then collect
     // the inbound ones.  A processor is never both sender and receiver in
     // one plan, so this cannot deadlock.
@@ -77,6 +93,7 @@ sim::Task<SyncStatus> apply_plan(LoopContext& ctx, int self, SlaveState& st, boo
       WorkMsg wm;
       wm.round = st.round;
       wm.ranges = mine.take_back(t.count);
+      iterations_shipped += t.count;
       const auto bytes =
           ctx.config.control_bytes +
           static_cast<std::size_t>(static_cast<double>(t.count) * ctx.loop->bytes_per_iteration);
@@ -86,9 +103,16 @@ sim::Task<SyncStatus> apply_plan(LoopContext& ctx, int self, SlaveState& st, boo
       if (t.to != self) continue;
       const sim::Message m = co_await me.receive(kTagWork, t.from);
       for (const auto& range : m.as<WorkMsg>().ranges) mine.add(range);
+      iterations_shipped += t.count;
     }
     if (ctx.trace != nullptr && move_began != me.engine().now()) {
       ctx.trace->record(self, ActivityKind::kMove, move_began, me.engine().now());
+    }
+    if (ctx.obs != nullptr && move_began != me.engine().now()) {
+      ctx.obs->phase(self, obs::PhaseKind::kShipment, move_began, me.engine().now(),
+                     iterations_shipped);
+      ctx.obs->metrics().counter("proto.iterations_shipped")
+          .add(static_cast<double>(iterations_shipped));
     }
   }
 
@@ -142,6 +166,7 @@ std::vector<int> remove_inactive(const std::vector<int>& active,
 /// left).
 sim::Task<SyncStatus> participate_centralized(LoopContext& ctx, int self, SlaveState& st) {
   auto& me = ctx.cluster->station(self);
+  const sim::SimTime profile_began = me.engine().now();
   ProfileMsg pm;
   pm.round = st.round;
   pm.group = ctx.group_of[static_cast<std::size_t>(self)];
@@ -151,6 +176,10 @@ sim::Task<SyncStatus> participate_centralized(LoopContext& ctx, int self, SlaveS
   const sim::Message m = co_await me.receive(kTagOutcome, ctx.balancer_proc);
   const auto& out = m.as<OutcomeMsg>();
   if (out.round != st.round) throw std::logic_error("DLB: outcome round mismatch");
+  if (ctx.obs != nullptr) {
+    // Profile sent until verdict received: the centralized waiting time.
+    ctx.obs->phase(self, obs::PhaseKind::kProfile, profile_began, me.engine().now(), st.round);
+  }
   co_return co_await apply_plan(ctx, self, st, out.loop_done, out.moved, out.transfers,
                                 out.active_after);
 }
@@ -159,6 +188,7 @@ sim::Task<SyncStatus> participate_centralized(LoopContext& ctx, int self, SlaveS
 /// theirs, and run the (replicated) balancer locally (Fig. 1 right).
 sim::Task<SyncStatus> participate_distributed(LoopContext& ctx, int self, SlaveState& st) {
   auto& me = ctx.cluster->station(self);
+  const sim::SimTime profile_began = me.engine().now();
   ProfileMsg pm;
   pm.round = st.round;
   pm.group = ctx.group_of[static_cast<std::size_t>(self)];
@@ -175,6 +205,10 @@ sim::Task<SyncStatus> participate_distributed(LoopContext& ctx, int self, SlaveS
   }
   std::sort(profiles.begin(), profiles.end(),
             [](const ProfileSnapshot& a, const ProfileSnapshot& b) { return a.proc < b.proc; });
+  if (ctx.obs != nullptr) {
+    // Profile broadcast until the last peer profile arrived.
+    ctx.obs->phase(self, obs::PhaseKind::kProfile, profile_began, me.engine().now(), st.round);
+  }
 
   // The replicated distribution calculation runs on every member in
   // parallel (same deterministic inputs -> same plan everywhere).
@@ -242,9 +276,15 @@ sim::Process dlb_slave(LoopContext& ctx, int self) {
       while (auto m = me.poll(kTagInterrupt)) {
         if (m->as<InterruptMsg>().round == st.round) {
           const sim::SimTime sync_began = me.engine().now();
+          const int sync_round = st.round;
+          sample_engine_health(ctx);
           status = co_await participate(ctx, self, st);
           if (ctx.trace != nullptr) {
             ctx.trace->record(self, ActivityKind::kSync, sync_began, me.engine().now());
+          }
+          if (ctx.obs != nullptr) {
+            ctx.obs->phase(self, obs::PhaseKind::kSync, sync_began, me.engine().now(),
+                           sync_round);
           }
           synced = true;
           break;
@@ -265,10 +305,19 @@ sim::Process dlb_slave(LoopContext& ctx, int self) {
       im.round = st.round;
       im.group = ctx.group_of[static_cast<std::size_t>(self)];
       const sim::SimTime sync_began = me.engine().now();
+      const int sync_round = st.round;
+      if (ctx.obs != nullptr) {
+        ctx.obs->instant(self, obs::InstantKind::kInterrupt, sync_began, sync_round);
+        ctx.obs->metrics().counter("proto.interrupts").increment();
+      }
+      sample_engine_health(ctx);
       co_await me.multicast(st.active, kTagInterrupt, im, ctx.config.control_bytes);
       const SyncStatus status = co_await participate(ctx, self, st);
       if (ctx.trace != nullptr) {
         ctx.trace->record(self, ActivityKind::kSync, sync_began, me.engine().now());
+      }
+      if (ctx.obs != nullptr) {
+        ctx.obs->phase(self, obs::PhaseKind::kSync, sync_began, me.engine().now(), sync_round);
       }
       if (status != SyncStatus::kContinue) running = false;
     }

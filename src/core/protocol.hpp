@@ -9,6 +9,7 @@
 #include "core/run_stats.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/process.hpp"
 
 namespace dlb::core {
@@ -75,6 +76,9 @@ struct LoopContext {
   LoopRunStats stats;
   /// Optional activity recorder (owned by the Runtime).
   Trace* trace = nullptr;
+  /// Optional observability recorder (owned by the Runtime); null unless
+  /// DlbConfig::observe.
+  obs::Recorder* obs = nullptr;
 
   [[nodiscard]] int procs() const { return cluster->size(); }
   /// Base rate in ops/sec (for rate priors).

@@ -7,6 +7,8 @@
 
 #include "core/trace.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace dlb::core {
 
@@ -50,6 +52,11 @@ struct RunResult {
   std::uint64_t bytes = 0;
   /// Per-processor activity segments (only when DlbConfig::record_trace).
   std::shared_ptr<Trace> trace;
+  /// Observability recorder (only when DlbConfig::observe): protocol phase
+  /// spans, per-frame network records, instant marks, counter samples.
+  std::shared_ptr<obs::Recorder> obs;
+  /// Canonical metrics snapshot (empty when DlbConfig::observe is false).
+  obs::MetricsSnapshot metrics;
   /// Fault counters (all zero when the plan is disarmed).
   fault::FaultStats faults;
 

@@ -5,6 +5,7 @@
 
 #include "core/ft_protocol.hpp"
 #include "core/protocol.hpp"
+#include "sim/frame_arena.hpp"
 #include "sim/time.hpp"
 
 namespace dlb::core {
@@ -23,6 +24,11 @@ Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
         "pair is single-run — build a fresh Cluster for every run");
   }
   if (config_.record_trace) trace_ = std::make_shared<Trace>();
+  if (config_.observe) {
+    obs_ = std::make_shared<obs::Recorder>();
+    cluster_.network().set_recorder(obs_.get());
+    arena_live_at_start_ = sim::FrameArena::stats().live;
+  }
   if (config_.faults.armed()) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.faults, cluster_.size(),
                                                        cluster_.params().seed);
@@ -32,18 +38,24 @@ Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
     injector_->set_death_handler([this](int p) {
       cluster_.station(p).power_off();
       cluster_.station(p).mailbox().cancel_waiters();
+      if (obs_) obs_->instant(p, obs::InstantKind::kDeath, cluster_.engine().now());
     });
-    injector_->set_rejoin_handler([this](int p) { cluster_.station(p).power_on(); });
+    injector_->set_rejoin_handler([this](int p) {
+      cluster_.station(p).power_on();
+      if (obs_) obs_->instant(p, obs::InstantKind::kRejoin, cluster_.engine().now());
+    });
   }
 }
 
 LoopRunStats Runtime::execute_loop(const LoopDescriptor& loop, int loop_index) {
   if (injector_ != nullptr) {
-    return run_ft_loop(loop, config_, cluster_, *injector_, loop_index, trace_.get());
+    return run_ft_loop(loop, config_, cluster_, *injector_, loop_index, trace_.get(),
+                       obs_.get());
   }
 
   LoopContext ctx = LoopContext::make(loop, config_, cluster_);
   ctx.trace = trace_.get();
+  ctx.obs = obs_.get();
   auto& engine = cluster_.engine();
 
   if (config_.strategy == Strategy::kNoDlb) {
@@ -81,15 +93,20 @@ void Runtime::execute_phase(const SequentialPhase& phase, const LoopRunStats& pr
     gather_bytes[p] = static_cast<double>(previous.executed_per_proc[p]) *
                       phase.gather_bytes_per_iteration;
   }
+  const sim::SimTime phase_began = engine.now();
   if (injector_ != nullptr) {
     run_ft_phase(cluster_, phase, gather_bytes, *injector_);
-    return;
+  } else {
+    engine.spawn(phase_master(cluster_, phase, gather_bytes));
+    for (int p = 1; p < cluster_.size(); ++p) {
+      engine.spawn(phase_slave(cluster_, phase, p, gather_bytes[static_cast<std::size_t>(p)]));
+    }
+    engine.run();
   }
-  engine.spawn(phase_master(cluster_, phase, gather_bytes));
-  for (int p = 1; p < cluster_.size(); ++p) {
-    engine.spawn(phase_slave(cluster_, phase, p, gather_bytes[static_cast<std::size_t>(p)]));
+  if (obs_) {
+    // One span on the master's track covering the whole gather/compute/scatter.
+    obs_->phase(0, obs::PhaseKind::kSequential, phase_began, engine.now());
   }
-  engine.run();
 }
 
 void Runtime::finish_result(RunResult& result) {
@@ -108,6 +125,20 @@ void Runtime::finish_result(RunResult& result) {
   result.messages = cluster_.network().messages_sent();
   result.bytes = cluster_.network().bytes_sent();
   result.trace = trace_;
+  if (obs_) {
+    // End-of-run engine/arena gauges, then the canonical snapshot.  The
+    // arena counter is a delta so a cell's metrics do not depend on which
+    // pool thread (with what allocation history) it landed on.
+    auto& metrics = obs_->metrics();
+    metrics.gauge("engine.events").set(static_cast<double>(cluster_.engine().events_executed()));
+    metrics.gauge("engine.peak_queue")
+        .set(static_cast<double>(cluster_.engine().peak_queue_depth()));
+    const auto arena = sim::FrameArena::stats();
+    metrics.gauge("arena.live_delta")
+        .set(static_cast<double>(arena.live) - static_cast<double>(arena_live_at_start_));
+    result.obs = obs_;
+    result.metrics = metrics.snapshot();
+  }
 }
 
 RunResult Runtime::run() {

@@ -7,6 +7,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "fault/injector.hpp"
+#include "obs/recorder.hpp"
 
 namespace dlb::core {
 
@@ -48,7 +49,9 @@ class Runtime {
   AppDescriptor app_;
   DlbConfig config_;
   std::shared_ptr<Trace> trace_;
+  std::shared_ptr<obs::Recorder> obs_;             // only when config.observe
   std::unique_ptr<fault::FaultInjector> injector_;  // only when faults armed
+  std::size_t arena_live_at_start_ = 0;
   bool consumed_ = false;
 };
 

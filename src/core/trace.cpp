@@ -29,6 +29,9 @@ void Trace::record(int proc, ActivityKind kind, sim::SimTime begin, sim::SimTime
 }
 
 std::vector<double> Trace::busy_seconds(int procs) const {
+  // A negative count used to be cast straight to size_t — a ~2^64 element
+  // vector and a bad_alloc — instead of being diagnosed.
+  if (procs < 0) throw std::invalid_argument("Trace: negative procs");
   std::vector<double> out(static_cast<std::size_t>(procs), 0.0);
   for (const auto& s : segments_) {
     if (s.proc < procs) out[static_cast<std::size_t>(s.proc)] += sim::to_seconds(s.end - s.begin);
@@ -37,6 +40,7 @@ std::vector<double> Trace::busy_seconds(int procs) const {
 }
 
 std::vector<double> Trace::compute_seconds(int procs) const {
+  if (procs < 0) throw std::invalid_argument("Trace: negative procs");
   std::vector<double> out(static_cast<std::size_t>(procs), 0.0);
   for (const auto& s : segments_) {
     if (s.kind == ActivityKind::kCompute && s.proc < procs) {
@@ -64,6 +68,11 @@ void Trace::render_gantt(std::ostream& os, int procs, int width) const {
   const auto rank = [](char g) {
     return g == 'r' ? 4 : g == 'm' ? 3 : g == 's' ? 2 : g == '#' ? 1 : 0;
   };
+  // Row labels pad to the widest processor number (min 2, which keeps the
+  // historical layout for procs <= 100); before, P100+ rows lost alignment.
+  int label_digits = 1;
+  for (int v = procs - 1; v >= 10; v /= 10) ++label_digits;
+  label_digits = std::max(label_digits, 2);
   for (int p = 0; p < procs; ++p) {
     std::string row(static_cast<std::size_t>(width), '.');
     for (const auto& s : segments_) {
@@ -79,9 +88,15 @@ void Trace::render_gantt(std::ostream& os, int procs, int width) const {
         }
       }
     }
-    os << 'P' << p << (p < 10 ? " " : "") << " |" << row << "|\n";
+    const std::string number = std::to_string(p);
+    os << 'P' << number
+       << std::string(static_cast<std::size_t>(label_digits) - number.size(), ' ') << " |" << row
+       << "|\n";
   }
-  os << "     0" << std::string(static_cast<std::size_t>(width) - 4, ' ')
+  // width - 4 underflowed size_t for widths 1..3 and asked for a ~2^64 char
+  // string (bad_alloc); clamp the gap instead.
+  os << std::string(static_cast<std::size_t>(label_digits) + 3, ' ') << '0'
+     << std::string(width > 4 ? static_cast<std::size_t>(width) - 4 : 1, ' ')
      << sim::to_seconds(span_end_) << "s\n";
   os << "     ('#' compute, 's' synchronize, 'm' move work, 'r' recover, '.' idle)\n";
 }

@@ -124,6 +124,12 @@ struct DlbConfig {
   std::size_t control_bytes = net::kControlMessageBytes;
   /// Record per-processor activity segments (RunResult::trace).
   bool record_trace = false;
+  /// Arm the observability layer: protocol phase spans, per-frame network
+  /// records, instant marks and the metrics registry (RunResult::obs /
+  /// RunResult::metrics).  Disarmed (the default) leaves every instrumented
+  /// site on a single predicted-null-pointer branch and records nothing —
+  /// the fault layer's arming discipline.
+  bool observe = false;
   /// Fault scenario.  A disarmed plan (the default) leaves every protocol on
   /// the fault-free code path; an armed plan switches the run to the
   /// fault-tolerant protocol variants.  kNoDlb cannot run armed: with no

@@ -8,10 +8,16 @@
 //               [--R=400 --C=400 --R2=400] [--n=30]
 //               [--faults=crash-half|crash-coord|crash-two|revoke-half|
 //                         loss10|crash-loss]   # arm a fault preset
+//               [--trace-out=DIR]  # one Chrome trace-event JSON per cell
+//               [--metrics]        # append observability metric columns
 //
 // Output on stdout is bit-identical for any --threads value (cells are
 // merged in canonical grid order); host timing goes to stderr, and only
 // --timing adds (nondeterministic) wall-time columns to the rows.
+// --trace-out files are deterministic too: names come from the canonical
+// cell index and contents from virtual time only.  Unknown --flags are
+// rejected, so a typo fails loudly instead of silently running the
+// default grid.
 
 #include <iostream>
 #include <stdexcept>
@@ -19,22 +25,42 @@
 #include "exp/grid.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "exp/trace_export.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace dlb;
   try {
     const support::Cli cli(argc, argv);
-    const auto grid = exp::parse_grid(cli);
+    cli.reject_unknown({"figure", "app", "procs", "strategies", "tl", "max-load", "seeds",
+                        "seed0", "loop", "threads", "format", "timing", "faults", "R", "C",
+                        "R2", "n", "iters", "ops", "bytes", "trace-out", "metrics"});
+    auto grid = exp::parse_grid(cli);
+
+    const auto trace_dir = cli.get("trace-out", "");
+    if (!trace_dir.empty()) {
+      // A Chrome trace wants both layers: activity segments for the solid
+      // track and the recorder for phases, flows, marks and counters.
+      grid.config.record_trace = true;
+      grid.config.observe = true;
+    }
+    const bool metrics = cli.has("metrics");
+    if (metrics) grid.config.observe = true;
 
     exp::RunnerOptions options;
     options.threads = static_cast<int>(cli.get_int("threads", 0));
     const exp::Runner runner(options);
     const auto sweep = runner.run(grid);
 
+    if (!trace_dir.empty()) {
+      const auto written = exp::write_cell_traces(trace_dir, sweep);
+      std::cerr << "trace-out: " << written << " trace files in " << trace_dir << "\n";
+    }
+
     exp::ReportOptions report;
     report.include_timing = cli.has("timing");
     report.include_faults = grid.config.faults.armed();
+    report.include_metrics = metrics;
     const auto format = cli.get("format", "summary");
     if (format == "csv") {
       exp::write_csv(std::cout, sweep, report);

@@ -37,6 +37,39 @@ std::vector<std::string> split_commas(const std::string& spec) {
   return out;
 }
 
+// std::stoi/stod ignore trailing junk, so "--procs=4x" used to run a P=4
+// grid instead of failing; list items get the same full-consumption check
+// as Cli::get_int/get_double.
+int strict_int(const std::string& item, const char* flag) {
+  std::size_t pos = 0;
+  int value = 0;
+  try {
+    value = std::stoi(item, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (item.empty() || pos != item.size()) {
+    throw std::invalid_argument(std::string("--") + flag + ": '" + item +
+                                "' is not a valid integer");
+  }
+  return value;
+}
+
+double strict_double(const std::string& item, const char* flag) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(item, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (item.empty() || pos != item.size()) {
+    throw std::invalid_argument(std::string("--") + flag + ": '" + item +
+                                "' is not a valid number");
+  }
+  return value;
+}
+
 core::Strategy strategy_from_label(const std::string& label) {
   if (label == "nodlb" || label == "none") return core::Strategy::kNoDlb;
   if (label == "gc") return core::Strategy::kGCDLB;
@@ -222,12 +255,16 @@ ExperimentGrid parse_grid(const support::Cli& cli) {
     grid.apps.push_back(make_app_spec(name, cli));
   }
   grid.procs.clear();
-  for (const auto& p : split_commas(cli.get("procs", "4"))) grid.procs.push_back(std::stoi(p));
+  for (const auto& p : split_commas(cli.get("procs", "4"))) {
+    grid.procs.push_back(strict_int(p, "procs"));
+  }
   grid.strategies = parse_strategies(cli.get("strategies", "all"));
-  for (const auto& tl : split_commas(cli.get("tl", ""))) grid.tl_seconds.push_back(std::stod(tl));
+  for (const auto& tl : split_commas(cli.get("tl", ""))) {
+    grid.tl_seconds.push_back(strict_double(tl, "tl"));
+  }
   grid.max_loads.clear();
   for (const auto& ml : split_commas(cli.get("max-load", "5"))) {
-    grid.max_loads.push_back(std::stoi(ml));
+    grid.max_loads.push_back(strict_int(ml, "max-load"));
   }
   grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
   grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));

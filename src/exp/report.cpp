@@ -12,12 +12,28 @@ namespace dlb::exp {
 
 namespace {
 
-// 12 fixed columns plus the optional fault and wall_seconds ones.
+// 12 fixed columns plus the optional fault, metric and wall_seconds ones.
 constexpr std::size_t kMaxColumns = 21;
 
-std::vector<std::string> header_row(const ReportOptions& options) {
+/// Canonical metric column set: the union of metric names over all cells,
+/// sorted (snapshots are already name-sorted, so a std::map union keeps the
+/// canonical order).  Identically configured cells register identical names,
+/// so this is usually just the first cell's key sequence.
+std::vector<std::string> metric_columns(const SweepResult& sweep) {
+  std::map<std::string, int> names;
+  for (const auto& c : sweep.cells) {
+    for (const auto& [name, value] : c.result.metrics.values) names.emplace(name, 0);
+  }
+  std::vector<std::string> out;
+  out.reserve(names.size());
+  for (const auto& [name, unused] : names) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> header_row(const ReportOptions& options,
+                                    const std::vector<std::string>& metrics) {
   std::vector<std::string> h;
-  h.reserve(kMaxColumns);
+  h.reserve(kMaxColumns + metrics.size());
   h.insert(h.end(), {"app",   "procs",  "strategy",        "tl_seconds",
                      "max_load", "seed", "exec_seconds",    "syncs",
                      "redistributions", "iterations_moved", "messages", "bytes"});
@@ -25,13 +41,15 @@ std::vector<std::string> header_row(const ReportOptions& options) {
     h.insert(h.end(), {"faults", "crashes", "revocations", "rejoins", "dropped_frames",
                        "retries", "recoveries", "iterations_recovered"});
   }
+  h.insert(h.end(), metrics.begin(), metrics.end());
   if (options.include_timing) h.push_back("wall_seconds");
   return h;
 }
 
-std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& options) {
+std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& options,
+                                  const std::vector<std::string>& metrics) {
   std::vector<std::string> row;
-  row.reserve(kMaxColumns);
+  row.reserve(kMaxColumns + metrics.size());
   row.insert(row.end(), {
       c.spec.app_name,
       std::to_string(c.spec.params.procs),
@@ -59,8 +77,19 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
         std::to_string(f.iterations_recovered),
     });
   }
+  for (const auto& name : metrics) {
+    row.push_back(fmt_exact(c.result.metrics.value_of(name, 0.0)));
+  }
   if (options.include_timing) row.push_back(fmt_exact(c.wall_seconds));
   return row;
+}
+
+/// A JSON numeric token for an already-formatted value.  IEEE infinities and
+/// NaNs have no JSON spelling — "inf"/"nan" in the output used to make the
+/// whole document unparseable — so they become null.
+bool json_numeric_invalid(const std::string& formatted) {
+  return formatted.find("inf") != std::string::npos ||
+         formatted.find("nan") != std::string::npos;
 }
 
 }  // namespace
@@ -72,18 +101,22 @@ std::string fmt_exact(double value) {
 }
 
 void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& options) {
+  const auto metrics =
+      options.include_metrics ? metric_columns(sweep) : std::vector<std::string>{};
   support::CsvWriter csv(os);
-  csv.write_row(header_row(options));
-  for (const auto& c : sweep.cells) csv.write_row(cell_row(c, options));
+  csv.write_row(header_row(options, metrics));
+  for (const auto& c : sweep.cells) csv.write_row(cell_row(c, options, metrics));
 }
 
 void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions& options) {
-  const auto header = header_row(options);
+  const auto metrics =
+      options.include_metrics ? metric_columns(sweep) : std::vector<std::string>{};
+  const auto header = header_row(options, metrics);
   os << "[\n";
   std::string line;  // reused across rows; capacity settles after the first
   line.reserve(256);
   for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
-    const auto row = cell_row(sweep.cells[i], options);
+    const auto row = cell_row(sweep.cells[i], options, metrics);
     line.clear();
     line += "  {";
     for (std::size_t k = 0; k < header.size(); ++k) {
@@ -98,6 +131,8 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
         line += '"';
         line += row[k];
         line += '"';
+      } else if (json_numeric_invalid(row[k])) {
+        line += "null";
       } else {
         line += row[k];
       }

@@ -18,6 +18,12 @@ struct ReportOptions {
   /// schedule lives in virtual time.  dlb_sweep turns this on iff the
   /// grid's plan is armed, so unarmed output stays byte-identical.
   bool include_faults = false;
+  /// Append one column per observability metric (the canonical union of
+  /// metric names across all cells, sorted by name — histogram buckets
+  /// flatten to `name.le_<bound>` keys).  Cells that lack a metric print 0.
+  /// dlb_sweep turns this on with --metrics; it requires cells run with
+  /// DlbConfig::observe, otherwise there are simply no metric columns.
+  bool include_metrics = false;
 };
 
 /// One CSV/JSON row per cell, canonical grid order.  Columns:

@@ -70,7 +70,11 @@ sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::
 
   // Loss is decided after the medium reservation so a dropped frame costs
   // the wire exactly what a delivered one does.
-  if (drop_hook_ && drop_hook_(src, dst, tag, bytes, droppable)) {
+  const bool dropped = drop_hook_ && drop_hook_(src, dst, tag, bytes, droppable);
+  if (recorder_ != nullptr) {
+    recorder_->message(src, dst, tag, bytes, message.sent_at, deliver_at, dropped);
+  }
+  if (dropped) {
     ++messages_dropped_;
     co_return;
   }

@@ -9,6 +9,7 @@
 
 #include "net/ethernet.hpp"
 #include "net/params.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
@@ -59,6 +60,12 @@ class Network {
   /// hook is set, send takes the exact pre-fault code path.
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Observability: when set, every frame is recorded (src, dst, tag, size,
+  /// send and delivery times, loss) at the moment the medium reservation is
+  /// made.  Null (the default) keeps the exact unobserved code path — the
+  /// same arming discipline as the drop hook.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+
   /// Sends one message.  Occupies the *calling coroutine* (the sender's CPU)
   /// for o_s, then hands the frame to the medium and returns — delivery is
   /// asynchronous, like pvm_send.  `overhead_fraction` scales the sender CPU
@@ -99,6 +106,7 @@ class Network {
   sim::SimTime bridge_latency_ = 0;
   std::vector<sim::Mailbox*> mailboxes_;
   DropHook drop_hook_;
+  obs::Recorder* recorder_ = nullptr;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bridge_crossings_ = 0;

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlb::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+  for (const double b : bounds_) {
+    if (!std::isfinite(b)) {
+      throw std::invalid_argument("Histogram: bounds must be finite (+inf is implicit)");
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += value;
+}
+
+double MetricsSnapshot::value_of(std::string_view name, double fallback) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const std::pair<std::string, double>& kv, std::string_view n) { return kv.first < n; });
+  return it != values.end() && it->first == name ? it->second : fallback;
+}
+
+void MetricsRegistry::claim_name(const std::string& name, const char* kind) {
+  if (name.empty()) throw std::invalid_argument("MetricsRegistry: empty metric name");
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && std::string_view(it->second) != kind) {
+    throw std::invalid_argument("MetricsRegistry: '" + name + "' already registered as " +
+                                it->second);
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  claim_name(name, "counter");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  claim_name(name, "gauge");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::span<const double> bounds) {
+  claim_name(name, "histogram");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds);
+  } else if (!std::equal(bounds.begin(), bounds.end(), slot->bounds().begin(),
+                         slot->bounds().end())) {
+    throw std::invalid_argument("MetricsRegistry: '" + name + "' re-registered with new bounds");
+  }
+  return *slot;
+}
+
+std::string format_bound(double bound) {
+  if (std::isinf(bound)) return bound > 0 ? "inf" : "-inf";
+  std::ostringstream ss;
+  ss << bound;  // default precision: bucket bounds are chosen round
+  return ss.str();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.values.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.values.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      snap.values.emplace_back(name + ".le_" + format_bound(h->bounds()[i]),
+                               static_cast<double>(h->counts()[i]));
+    }
+    snap.values.emplace_back(name + ".le_inf",
+                             static_cast<double>(h->counts()[h->bounds().size()]));
+    snap.values.emplace_back(name + ".count", static_cast<double>(h->total_count()));
+    snap.values.emplace_back(name + ".sum", h->sum());
+  }
+  std::sort(snap.values.begin(), snap.values.end());
+  return snap;
+}
+
+}  // namespace dlb::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dlb::obs {
+
+/// Monotonic counter.  Handles returned by the registry stay valid for the
+/// registry's lifetime, so hot paths cache the pointer and pay one add.
+class Counter {
+ public:
+  void add(double delta) noexcept { value_ += delta; }
+  void increment() noexcept { value_ += 1.0; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins gauge (queue depths, end-of-run totals).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram over fixed, strictly increasing upper bucket bounds plus an
+/// implicit +inf bucket.  Bounds are fixed at registration so snapshots of
+/// the same metric from different runs merge column-for-column.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// counts()[i] is the number of observations <= bounds()[i]; the last
+  /// entry (index bounds().size()) is the +inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Flattened, canonically ordered view of a registry: (name, value) pairs
+/// sorted by name.  Histograms expand to `name.le_<bound>` per bucket plus
+/// `name.count` and `name.sum`, so two snapshots of identically registered
+/// metrics have identical key sequences — which is what lets exp reports
+/// splice them in as deterministic columns.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> values;
+
+  [[nodiscard]] double value_of(std::string_view name, double fallback = 0.0) const;
+  [[nodiscard]] bool empty() const noexcept { return values.empty(); }
+};
+
+/// Name-keyed registry of counters, gauges and histograms.  Registration is
+/// idempotent (same name returns the same instrument) but a name may hold
+/// only one instrument kind, and a histogram's bounds must match on
+/// re-registration — mismatches throw instead of silently forking series.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name, std::span<const double> bounds);
+
+  /// Canonical flattening, sorted by expanded name.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  void claim_name(const std::string& name, const char* kind);
+
+  std::map<std::string, const char*> kinds_;  // name -> instrument kind
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Formats a histogram bucket bound for a flattened snapshot key
+/// (`64`, `0.5`, `inf`); shared with the report tests.
+[[nodiscard]] std::string format_bound(double bound);
+
+}  // namespace dlb::obs

@@ -1,11 +1,13 @@
 #include "sched/task_queue.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "fault/injector.hpp"
 #include "net/params.hpp"
+#include "obs/recorder.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 
@@ -37,6 +39,7 @@ struct QueueState {
   std::vector<std::int64_t> executed;
   std::vector<sim::SimTime> finished_at;
   core::LoopRunStats stats;
+  std::shared_ptr<obs::Recorder> obs;  // armed only when TaskQueueConfig::observe
 
   // Fault mode only.
   fault::FaultInjector* injector = nullptr;
@@ -55,6 +58,13 @@ void record_handout(QueueState& q, int source, const ChunkReply& reply, std::int
   e.redistributed = true;
   e.transfer_messages = 1;
   q.stats.events.push_back(e);
+  if (q.obs != nullptr) {
+    q.obs->instant(source, obs::InstantKind::kHandout, q.cluster->engine().now(),
+                   reply.hi - reply.lo);
+    q.obs->metrics().counter("sched.chunks").increment();
+    q.obs->metrics().counter("sched.iterations_handed")
+        .add(static_cast<double>(reply.hi - reply.lo));
+  }
 }
 
 sim::Process queue_master(QueueState& q) {
@@ -84,7 +94,12 @@ sim::Process queue_slave(QueueState& q, int self) {
     const sim::Message m = co_await me.receive(kTagChunkReply, 0);
     const auto& reply = m.as<ChunkReply>();
     if (reply.lo == reply.hi) break;
+    const sim::SimTime began = me.engine().now();
     co_await me.compute(q.loop->ops_in_range(reply.lo, reply.hi));
+    if (q.obs != nullptr) {
+      q.obs->phase(self, obs::PhaseKind::kChunk, began, me.engine().now(),
+                   reply.hi - reply.lo);
+    }
     q.executed[static_cast<std::size_t>(self)] += reply.hi - reply.lo;
   }
   q.finished_at[static_cast<std::size_t>(self)] = me.engine().now();
@@ -174,8 +189,13 @@ sim::Process ft_queue_slave(QueueState& q, int self) {
       continue;
     }
     if (reply.lo == reply.hi) break;
+    const sim::SimTime began = me.engine().now();
     co_await me.compute(q.loop->ops_in_range(reply.lo, reply.hi));
     if (me.powered_off()) break;  // died mid-chunk: unacked, master reissues
+    if (q.obs != nullptr) {
+      q.obs->phase(self, obs::PhaseKind::kChunk, began, me.engine().now(),
+                   reply.hi - reply.lo);
+    }
     ack = {reply.lo, reply.hi};
   }
   q.finished_at[static_cast<std::size_t>(self)] = me.engine().now();
@@ -198,6 +218,14 @@ core::RunResult finish_result(QueueState& q, const core::AppDescriptor& app,
   result.loops.push_back(std::move(q.stats));
   result.messages = cluster.network().messages_sent();
   result.bytes = cluster.network().bytes_sent();
+  if (q.obs != nullptr) {
+    auto& metrics = q.obs->metrics();
+    metrics.gauge("engine.events").set(static_cast<double>(cluster.engine().events_executed()));
+    metrics.gauge("engine.peak_queue")
+        .set(static_cast<double>(cluster.engine().peak_queue_depth()));
+    result.obs = q.obs;
+    result.metrics = metrics.snapshot();
+  }
   return result;
 }
 
@@ -220,6 +248,10 @@ core::RunResult run_task_queue(const cluster::ClusterParams& params,
   q.executed.assign(static_cast<std::size_t>(cluster.size()), 0);
   q.finished_at.assign(static_cast<std::size_t>(cluster.size()), 0);
   q.stats.loop_name = loop.name;
+  if (config.observe) {
+    q.obs = std::make_shared<obs::Recorder>();
+    cluster.network().set_recorder(q.obs.get());
+  }
 
   std::unique_ptr<fault::FaultInjector> injector;
   if (config.faults.armed()) {

@@ -19,6 +19,9 @@ struct TaskQueueConfig {
   /// single queue run a revoked worker does not rejoin (no loop boundary),
   /// so revocation degrades to a crash with its own counter.
   fault::FaultPlan faults;
+  /// Arm the observability layer: chunk handout marks, per-chunk compute
+  /// spans, network frame records and metrics (RunResult::obs / ::metrics).
+  bool observe = false;
 };
 
 /// Runs a single-loop application under a central task queue on the

@@ -185,6 +185,12 @@ class Engine {
   [[nodiscard]] std::size_t events_executed() const noexcept { return events_executed_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
 
+  /// Current number of queued events (observability: sampled as the
+  /// "heap depth" counter track of a Chrome trace).
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return events_.size(); }
+  /// High-water mark of the event queue over the engine's lifetime.
+  [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_queue_depth_; }
+
  private:
   /// Pooled holder for a type-erased `schedule_at` callable.  Chunk-allocated
   /// by the engine and recycled through `free_calls_`; `run`/`drop` own the
@@ -222,6 +228,7 @@ class Engine {
   // lines.  Inline: sits directly in every awaiter's suspend path.
   void push_event(Event ev) noexcept {
     events_.push_back(ev);
+    if (events_.size() > peak_queue_depth_) peak_queue_depth_ = events_.size();
     std::size_t i = events_.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 4;
@@ -265,6 +272,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_executed_ = 0;
+  std::size_t peak_queue_depth_ = 0;
 };
 
 }  // namespace dlb::sim

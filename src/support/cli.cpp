@@ -1,8 +1,19 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace dlb::support {
+
+namespace {
+
+[[noreturn]] void bad_number(const std::string& key, const std::string& value,
+                             const char* kind) {
+  throw std::invalid_argument("--" + key + "=" + value + ": not a valid " + kind);
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -29,12 +40,43 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 
 long Cli::get_int(const std::string& key, long fallback) const {
   const auto it = options_.find(key);
-  return it == options_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == options_.end()) return fallback;
+  const std::string& value = it->second;
+  // strtol with an unchecked end pointer accepted "4x" as 4 and "x" as 0;
+  // require the full string to be consumed and non-empty.
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    bad_number(key, value, "integer");
+  }
+  return parsed;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = options_.find(key);
-  return it == options_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == options_.end()) return fallback;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    bad_number(key, value, "number");
+  }
+  return parsed;
+}
+
+void Cli::reject_unknown(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : options_) {
+    bool ok = false;
+    for (const auto& k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw std::invalid_argument("unknown option --" + key);
+  }
 }
 
 }  // namespace dlb::support

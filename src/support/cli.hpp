@@ -9,6 +9,11 @@ namespace dlb::support {
 
 /// Tiny `--key=value` / `--flag` argument parser shared by the examples and
 /// benchmark binaries.  Unrecognized positional arguments are kept in order.
+///
+/// Numeric accessors parse strictly: the whole value must be a valid number
+/// (`--procs=4x` or `--tl=fast` throw std::invalid_argument instead of
+/// silently reading 0, which used to turn a typo into a zero-processor
+/// grid).  A bare `--flag` stores "1", so `has`/`get_int` agree on flags.
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
@@ -19,6 +24,12 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Throws std::invalid_argument if any parsed `--option` is not in
+  /// `known` — so `--thraeds=4` fails loudly instead of being ignored.
+  /// Call after all flags are known; binaries with open-ended flag sets
+  /// simply never call it.
+  void reject_unknown(const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> options_;

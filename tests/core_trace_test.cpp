@@ -75,6 +75,60 @@ TEST(Trace, GanttDegenerateDimensions) {
   }
 }
 
+TEST(Trace, GanttNarrowWidthsDoNotUnderflow) {
+  // The footer used to build std::string(width - 4, ' ') with a size_t
+  // subtraction, so widths 1..3 wrapped to ~2^64 and threw bad_alloc.
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  for (const int width : {1, 2, 3, 4}) {
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.render_gantt(os, 2, width)) << "width " << width;
+    // Each processor row must still be exactly `width` glyph columns wide.
+    const std::string out = os.str();
+    const auto bar0 = out.find('|');
+    const auto bar1 = out.find('|', bar0 + 1);
+    ASSERT_NE(bar1, std::string::npos);
+    EXPECT_EQ(bar1 - bar0 - 1, static_cast<std::size_t>(width));
+  }
+}
+
+TEST(Trace, GanttLabelsAlignAcrossRowCounts) {
+  // Every row's '|' must sit in the same column — at 16 procs (2-digit
+  // labels, the historical layout) and at 120 procs (3-digit labels, which
+  // used to shear the grid).
+  for (const int procs : {16, 120}) {
+    Trace t;
+    for (int p = 0; p < procs; ++p) {
+      t.record(p, ActivityKind::kCompute, 0, from_seconds(1.0));
+    }
+    std::ostringstream os;
+    t.render_gantt(os, procs, 10);
+    const std::string out = os.str();
+    std::size_t expected_col = std::string::npos;
+    std::size_t line_start = 0;
+    for (int p = 0; p < procs; ++p) {
+      const auto line_end = out.find('\n', line_start);
+      ASSERT_NE(line_end, std::string::npos);
+      const std::string line = out.substr(line_start, line_end - line_start);
+      EXPECT_EQ(line.find("P" + std::to_string(p)), 0u);
+      const auto col = line.find('|');
+      if (expected_col == std::string::npos) expected_col = col;
+      EXPECT_EQ(col, expected_col) << "row P" << p << " of " << procs;
+      line_start = line_end + 1;
+    }
+  }
+}
+
+TEST(Trace, AggregatesRejectNegativeProcs) {
+  // A negative count was cast straight to size_t (a ~2^64-element vector
+  // and bad_alloc); it must be diagnosed instead.
+  Trace t;
+  t.record(0, ActivityKind::kCompute, 0, from_seconds(1.0));
+  EXPECT_THROW((void)t.busy_seconds(-1), std::invalid_argument);
+  EXPECT_THROW((void)t.compute_seconds(-1), std::invalid_argument);
+  EXPECT_THROW((void)t.utilization(-1), std::invalid_argument);
+}
+
 TEST(Trace, GanttRendersRecoverGlyph) {
   Trace t;
   t.record(0, ActivityKind::kRecover, 0, from_seconds(1.0));

@@ -1,0 +1,217 @@
+// Report metric columns and the per-cell Chrome trace export: both are
+// deterministic extensions of the sweep output, so the properties here are
+// (a) canonical column/file layout, (b) byte-identity across thread counts,
+// (c) disarmed runs are unchanged, and (d) the JSON stays parseable even
+// for non-finite values.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/ft_protocol.hpp"
+#include "core/protocol.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/trace_export.hpp"
+
+namespace {
+
+using dlb::exp::CellResult;
+using dlb::exp::ExperimentGrid;
+using dlb::exp::ReportOptions;
+using dlb::exp::Runner;
+using dlb::exp::RunnerOptions;
+using dlb::exp::SweepResult;
+
+ExperimentGrid small_grid(bool observe, bool record_trace = false) {
+  ExperimentGrid grid;
+  dlb::exp::AppSpec uniform;
+  uniform.name = "uniform[iters=32]";
+  uniform.app = dlb::apps::make_uniform(32, 20e3, 16.0);
+  uniform.base_ops_per_sec = 1e6;
+  uniform.default_tl_seconds = 0.5;
+  grid.apps.push_back(std::move(uniform));
+  grid.procs = {4};
+  grid.strategies = {dlb::core::Strategy::kGDDLB};
+  grid.max_loads = {5};
+  grid.seeds = 2;
+  grid.seed0 = 41000;
+  grid.config.observe = observe;
+  grid.config.record_trace = record_trace;
+  return grid;
+}
+
+std::string csv_of(const SweepResult& sweep, const ReportOptions& options) {
+  std::ostringstream os;
+  dlb::exp::write_csv(os, sweep, options);
+  return os.str();
+}
+
+std::string first_line(const std::string& text) {
+  return text.substr(0, text.find('\n'));
+}
+
+TEST(ExpReportMetrics, DisarmedCellsCarryNoMetrics) {
+  const auto sweep = Runner::run_serial(small_grid(false));
+  for (const auto& c : sweep.cells) {
+    EXPECT_EQ(c.result.obs, nullptr);
+    EXPECT_TRUE(c.result.metrics.empty());
+  }
+  // include_metrics on a disarmed sweep is a no-op: the union is empty.
+  ReportOptions with_metrics;
+  with_metrics.include_metrics = true;
+  EXPECT_EQ(csv_of(sweep, with_metrics), csv_of(sweep, ReportOptions{}));
+}
+
+TEST(ExpReportMetrics, DisarmedOutputUnchangedByObservability) {
+  // The recorder must not consume virtual time, so the base result columns
+  // of an observed sweep are byte-identical to the disarmed sweep's.
+  const auto plain = csv_of(Runner::run_serial(small_grid(false)), ReportOptions{});
+  const auto observed = csv_of(Runner::run_serial(small_grid(true)), ReportOptions{});
+  EXPECT_EQ(plain, observed);
+}
+
+TEST(ExpReportMetrics, MetricColumnsAreCanonicalAndSorted) {
+  const auto sweep = Runner::run_serial(small_grid(true));
+  ReportOptions options;
+  options.include_metrics = true;
+  const auto csv = csv_of(sweep, options);
+  const auto header = first_line(csv);
+  // Spot-check the registered families; full bucket layout is covered by
+  // the obs metrics tests.
+  for (const auto* name : {"engine.events", "engine.peak_queue", "net.messages", "net.bytes",
+                           "net.msg_bytes.le_64", "net.msg_bytes.le_inf", "net.msg_bytes.count",
+                           "proto.sync_seconds.count", "proto.interrupts"}) {
+    EXPECT_NE(header.find(name), std::string::npos) << name;
+  }
+  // Sorted union: engine.* precedes net.*, which precedes proto.*.
+  EXPECT_LT(header.find("engine.events"), header.find("net.bytes"));
+  EXPECT_LT(header.find("net.bytes"), header.find("proto.interrupts"));
+  // Armed cells actually moved data through the instrumented network path.
+  for (const auto& c : sweep.cells) {
+    ASSERT_NE(c.result.obs, nullptr);
+    EXPECT_GT(c.result.metrics.value_of("net.messages"), 0.0);
+    EXPECT_DOUBLE_EQ(c.result.metrics.value_of("net.messages"),
+                     static_cast<double>(c.result.messages));
+    EXPECT_GT(c.result.metrics.value_of("engine.events"), 0.0);
+  }
+}
+
+TEST(ExpReportMetrics, MetricBytesIdenticalAcrossThreadCounts) {
+  const auto grid = small_grid(true, true);
+  ReportOptions options;
+  options.include_metrics = true;
+  RunnerOptions one;
+  one.threads = 1;
+  RunnerOptions two;
+  two.threads = 2;
+  RunnerOptions eight;
+  eight.threads = 8;
+  const auto csv1 = csv_of(Runner(one).run(grid), options);
+  ASSERT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv_of(Runner(two).run(grid), options));
+  EXPECT_EQ(csv1, csv_of(Runner(eight).run(grid), options));
+}
+
+TEST(ExpReportJson, NonFiniteValuesBecomeNull) {
+  // "inf"/"nan" are not JSON; a cell with a degenerate result must not make
+  // the whole document unparseable.
+  auto sweep = Runner::run_serial(small_grid(false));
+  sweep.cells[0].result.exec_seconds = std::numeric_limits<double>::infinity();
+  sweep.cells[1].result.exec_seconds = std::numeric_limits<double>::quiet_NaN();
+  std::ostringstream os;
+  dlb::exp::write_json(os, sweep, ReportOptions{});
+  const auto json = os.str();
+  EXPECT_NE(json.find("\"exec_seconds\": null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(ExpGrid, ListFlagsRejectTrailingJunk) {
+  // std::stoi/stod swallow trailing junk, so "--procs=4x" used to run a
+  // P=4 grid; list items must be fully consumed like scalar flags.
+  for (const char* arg : {"--procs=4x", "--tl=2.0s", "--max-load=fi5ve"}) {
+    const char* argv[] = {"prog", arg};
+    const dlb::support::Cli cli(2, argv);
+    EXPECT_THROW((void)dlb::exp::parse_grid(cli), std::invalid_argument) << arg;
+  }
+  const char* argv[] = {"prog", "--procs=4,16", "--tl=2,16"};
+  const dlb::support::Cli cli(3, argv);
+  const auto grid = dlb::exp::parse_grid(cli);
+  EXPECT_EQ(grid.procs, (std::vector<int>{4, 16}));
+  EXPECT_EQ(grid.tl_seconds, (std::vector<double>{2.0, 16.0}));
+}
+
+TEST(ExpTraceExport, FileNamesAreDeterministic) {
+  const auto grid = small_grid(true, true);
+  const auto spec = grid.cell(1);
+  EXPECT_EQ(dlb::exp::trace_file_name(spec),
+            "cell-000001-uniform-iters-32-p4-GD-s41001.json");
+}
+
+TEST(ExpTraceExport, TagNamerCoversTheWireProtocol) {
+  EXPECT_EQ(dlb::exp::dlb_tag_name(dlb::core::kTagProfile), "profile");
+  EXPECT_EQ(dlb::exp::dlb_tag_name(dlb::core::kTagWork), "work");
+  EXPECT_EQ(dlb::exp::dlb_tag_name(dlb::core::kFtTagBase + dlb::core::kFtTagStride +
+                                   dlb::core::kFtOffAck),
+            "ft ack g1");
+  EXPECT_EQ(dlb::exp::dlb_tag_name(dlb::core::kFtCentralProfileBase + 2), "ft profile g2");
+  EXPECT_EQ(dlb::exp::dlb_tag_name(50), "");  // exporter falls back to "tag 50"
+}
+
+TEST(ExpTraceExport, TraceFilesAreByteIdenticalAcrossThreadCounts) {
+  const auto grid = small_grid(true, true);
+  const auto dir_for = [](int threads) {
+    return std::filesystem::path(testing::TempDir()) /
+           ("dlb_trace_export_t" + std::to_string(threads));
+  };
+  const auto read_all = [](const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  for (const int threads : {1, 2, 8}) {
+    RunnerOptions options;
+    options.threads = threads;
+    const auto sweep = Runner(options).run(grid);
+    std::filesystem::remove_all(dir_for(threads));
+    EXPECT_EQ(dlb::exp::write_cell_traces(dir_for(threads).string(), sweep), 2u);
+  }
+
+  const auto grid_spec0 = grid.cell(0);
+  const auto grid_spec1 = grid.cell(1);
+  for (const auto& spec : {grid_spec0, grid_spec1}) {
+    const auto name = dlb::exp::trace_file_name(spec);
+    const auto baseline = read_all(dir_for(1) / name);
+    ASSERT_FALSE(baseline.empty()) << name;
+    // Activity slices, protocol phases and flow arrows all made it in.
+    EXPECT_NE(baseline.find("\"cat\":\"activity\""), std::string::npos);
+    EXPECT_NE(baseline.find("\"cat\":\"protocol\""), std::string::npos);
+    EXPECT_NE(baseline.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(baseline.find("\"workstation 3\""), std::string::npos);
+    EXPECT_EQ(baseline, read_all(dir_for(2) / name)) << name;
+    EXPECT_EQ(baseline, read_all(dir_for(8) / name)) << name;
+  }
+  for (const int threads : {1, 2, 8}) std::filesystem::remove_all(dir_for(threads));
+}
+
+TEST(ExpTraceExport, CellsWithoutRecordingAreSkipped) {
+  const auto sweep = Runner::run_serial(small_grid(false));
+  const auto dir =
+      std::filesystem::path(testing::TempDir()) / "dlb_trace_export_disarmed";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(dlb::exp::write_cell_traces(dir.string(), sweep), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using dlb::obs::format_bound;
+using dlb::obs::Histogram;
+using dlb::obs::MetricsRegistry;
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("net.messages");
+  c.increment();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Registration is idempotent: the same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("net.messages"), &c);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("engine.peak_queue");
+  g.set(4.0);
+  g.set(17.0);
+  EXPECT_DOUBLE_EQ(g.value(), 17.0);
+}
+
+TEST(Metrics, HistogramBucketsByUpperBound) {
+  constexpr std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  Histogram h(bounds);
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive upper edges)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +inf bucket
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  constexpr std::array<double, 2> unsorted{10.0, 1.0};
+  constexpr std::array<double, 2> duplicated{1.0, 1.0};
+  constexpr std::array<double, 2> infinite{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(Histogram{unsorted}, std::invalid_argument);
+  EXPECT_THROW(Histogram{duplicated}, std::invalid_argument);
+  EXPECT_THROW(Histogram{infinite}, std::invalid_argument);
+}
+
+TEST(Metrics, NameMayHoldOnlyOneInstrumentKind) {
+  MetricsRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  constexpr std::array<double, 1> bounds{1.0};
+  EXPECT_THROW((void)reg.histogram("x", bounds), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBoundsMustMatchOnReRegistration) {
+  MetricsRegistry reg;
+  constexpr std::array<double, 2> bounds{1.0, 2.0};
+  constexpr std::array<double, 2> other{1.0, 3.0};
+  auto& h = reg.histogram("h", bounds);
+  EXPECT_EQ(&reg.histogram("h", bounds), &h);
+  EXPECT_THROW((void)reg.histogram("h", other), std::invalid_argument);
+}
+
+TEST(Metrics, FormatBound) {
+  EXPECT_EQ(format_bound(64.0), "64");
+  EXPECT_EQ(format_bound(0.5), "0.5");
+  EXPECT_EQ(format_bound(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Metrics, SnapshotFlattensSorted) {
+  MetricsRegistry reg;
+  reg.gauge("z.gauge").set(7.0);
+  reg.counter("a.count").add(3.0);
+  constexpr std::array<double, 2> bounds{1.0, 10.0};
+  auto& h = reg.histogram("m.hist", bounds);
+  h.observe(0.5);
+  h.observe(42.0);
+
+  const auto snap = reg.snapshot();
+  // Keys are sorted; histograms expand to le_<bound>/count/sum.
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snap.values) names.push_back(name);
+  const std::vector<std::string> expected{
+      "a.count",         "m.hist.count",  "m.hist.le_1", "m.hist.le_10",
+      "m.hist.le_inf",   "m.hist.sum",    "z.gauge"};
+  EXPECT_EQ(names, expected);
+  EXPECT_DOUBLE_EQ(snap.value_of("a.count"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("m.hist.le_1"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("m.hist.le_10"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("m.hist.le_inf"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("m.hist.count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value_of("m.hist.sum"), 42.5);
+  EXPECT_DOUBLE_EQ(snap.value_of("missing", -1.0), -1.0);
+}
+
+}  // namespace

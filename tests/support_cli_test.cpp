@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace {
 
 using dlb::support::Cli;
@@ -35,6 +38,68 @@ TEST(Cli, EmptyValueAllowed) {
   const Cli cli(2, argv);
   EXPECT_TRUE(cli.has("name"));
   EXPECT_EQ(cli.get("name", "z"), "");
+}
+
+TEST(Cli, GarbageIntegerThrows) {
+  // get_int used to atol-parse and silently hand back 0 for garbage, so
+  // --procs=four ran a 0-processor grid instead of failing.
+  const char* argv[] = {"prog", "--procs=four"};
+  const Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("procs", 0), std::invalid_argument);
+}
+
+TEST(Cli, TrailingJunkIntegerThrows) {
+  // "4x" parsed as 4 before; a partial parse is still a bad value.
+  const char* argv[] = {"prog", "--procs=4x"};
+  const Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("procs", 0), std::invalid_argument);
+}
+
+TEST(Cli, EmptyNumericValueThrows) {
+  const char* argv[] = {"prog", "--procs=", "--tl="};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("procs", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("tl", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, OutOfRangeIntegerThrows) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  const Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, GarbageDoubleThrows) {
+  const char* argv[] = {"prog", "--tl=fast", "--max=1.5sec"};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_double("tl", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("max", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, ValidNumbersStillParse) {
+  const char* argv[] = {"prog", "--a=-3", "--b=1e3", "--c=.5"};
+  const Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("a", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), 0.5);
+}
+
+TEST(Cli, RejectUnknownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--procs=4", "--verbose", "positional"};
+  const Cli cli(4, argv);
+  EXPECT_NO_THROW(cli.reject_unknown({"procs", "verbose", "seeds"}));
+}
+
+TEST(Cli, RejectUnknownThrowsOnTypo) {
+  // A typo like --trace-our=DIR must fail loudly, not silently run the
+  // default grid with the flag ignored.
+  const char* argv[] = {"prog", "--trace-our=/tmp/x"};
+  const Cli cli(2, argv);
+  try {
+    cli.reject_unknown({"trace-out"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trace-our"), std::string::npos);
+  }
 }
 
 }  // namespace
