@@ -454,7 +454,7 @@ bool has_absorbed(const FtSlaveState& st, int round, int from) {
          st.absorbed.end();
 }
 
-sim::Task<FtStatus> ft_apply(FtState& ft, int self, FtSlaveState& st, const FtOutcomeMsg& out) {
+sim::Task<FtStatus> ft_apply(FtState& ft, int self, FtSlaveState& st, FtOutcomeMsg out) {
   auto& ctx = *ft.ctx;
   auto& me = ctx.cluster->station(self);
   auto& mine = ctx.owned[static_cast<std::size_t>(self)];
@@ -1254,7 +1254,7 @@ LoopRunStats run_ft_loop(const LoopDescriptor& loop, const DlbConfig& config,
 
 namespace {
 
-sim::Process ft_phase_master(cluster::Cluster& cluster, const SequentialPhase& phase,
+sim::Process ft_phase_master(cluster::Cluster& cluster, SequentialPhase phase,
                              fault::FaultInjector& injector, int master) {
   auto& me = cluster.station(master);
   const sim::SimTime step = sim::from_seconds(injector.plan().heartbeat_period_seconds * 4.0);

@@ -76,8 +76,8 @@ void record_event(LoopContext& ctx, int group, int round, int initiator, const D
 /// advance the round window.  Shared by the centralized (outcome message)
 /// and distributed (locally derived) paths.
 sim::Task<SyncStatus> apply_plan(LoopContext& ctx, int self, SlaveState& st, bool loop_done,
-                                 bool moved, const std::vector<Transfer>& transfers,
-                                 const std::vector<int>& active_after) {
+                                 bool moved, std::vector<Transfer> transfers,
+                                 std::vector<int> active_after) {
   auto& me = ctx.cluster->station(self);
   auto& mine = ctx.owned[static_cast<std::size_t>(self)];
   if (loop_done) co_return SyncStatus::kLoopDone;
@@ -390,8 +390,8 @@ sim::Process static_slave(LoopContext& ctx, int self) {
   ctx.finished_at[static_cast<std::size_t>(self)] = me.engine().now();
 }
 
-sim::Process phase_master(cluster::Cluster& cluster, const SequentialPhase& phase,
-                          const std::vector<double>& gather_bytes_per_proc) {
+sim::Process phase_master(cluster::Cluster& cluster, SequentialPhase phase,
+                          std::vector<double> gather_bytes_per_proc) {
   auto& me = cluster.station(0);
   for (int p = 1; p < cluster.size(); ++p) {
     (void)co_await me.receive(kTagPhaseData, p);
@@ -404,7 +404,7 @@ sim::Process phase_master(cluster::Cluster& cluster, const SequentialPhase& phas
   (void)gather_bytes_per_proc;
 }
 
-sim::Process phase_slave(cluster::Cluster& cluster, const SequentialPhase& phase, int self,
+sim::Process phase_slave(cluster::Cluster& cluster, SequentialPhase phase, int self,
                          double gather_bytes) {
   auto& me = cluster.station(self);
   co_await me.send(0, kTagPhaseData, std::any{}, static_cast<std::size_t>(gather_bytes));

@@ -108,9 +108,12 @@ struct LoopContext {
 
 /// Sequential inter-loop phase (TRFD's transpose, §6.3): slaves gather their
 /// data to the master, the master computes, then scatters.
-[[nodiscard]] sim::Process phase_master(cluster::Cluster& cluster, const SequentialPhase& phase,
-                                        const std::vector<double>& gather_bytes_per_proc);
-[[nodiscard]] sim::Process phase_slave(cluster::Cluster& cluster, const SequentialPhase& phase,
-                                       int self, double gather_bytes);
+/// Coroutine parameters are taken by value: the caller's locals may die
+/// before the process body resumes, so references would dangle (dlblint
+/// coro-ref-param).
+[[nodiscard]] sim::Process phase_master(cluster::Cluster& cluster, SequentialPhase phase,
+                                        std::vector<double> gather_bytes_per_proc);
+[[nodiscard]] sim::Process phase_slave(cluster::Cluster& cluster, SequentialPhase phase, int self,
+                                       double gather_bytes);
 
 }  // namespace dlb::core

@@ -20,6 +20,30 @@ char activity_glyph(ActivityKind k) noexcept {
   return '?';
 }
 
+const char* activity_name(ActivityKind k) noexcept {
+  switch (k) {
+    case ActivityKind::kCompute:
+      return "compute";
+    case ActivityKind::kSync:
+      return "sync";
+    case ActivityKind::kMove:
+      return "move";
+    case ActivityKind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+std::vector<obs::ActivitySpan> to_activity_spans(const Trace* trace) {
+  std::vector<obs::ActivitySpan> spans;
+  if (trace == nullptr) return spans;
+  spans.reserve(trace->segments().size());
+  for (const ActivitySegment& s : trace->segments()) {
+    spans.push_back({s.proc, activity_name(s.kind), s.begin, s.end});
+  }
+  return spans;
+}
+
 void Trace::record(int proc, ActivityKind kind, sim::SimTime begin, sim::SimTime end) {
   if (proc < 0) throw std::invalid_argument("Trace: negative proc");
   if (end < begin) throw std::invalid_argument("Trace: reversed segment");

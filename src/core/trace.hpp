@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
 #include "sim/time.hpp"
 
 namespace dlb::core {
@@ -17,6 +18,8 @@ enum class ActivityKind {
 };
 
 [[nodiscard]] char activity_glyph(ActivityKind k) noexcept;
+/// Chrome-trace slice label for a kind ("compute", "sync", "move", "recover").
+[[nodiscard]] const char* activity_name(ActivityKind k) noexcept;
 
 struct ActivitySegment {
   int proc = 0;
@@ -57,5 +60,10 @@ class Trace {
   std::vector<ActivitySegment> segments_;
   sim::SimTime span_end_ = 0;
 };
+
+/// Projects a Trace onto the layer-neutral spans obs::write_chrome_trace
+/// consumes (obs sits below core, so the conversion lives here).  A null
+/// trace projects to an empty vector.
+[[nodiscard]] std::vector<obs::ActivitySpan> to_activity_spans(const Trace* trace);
 
 }  // namespace dlb::core

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/ownership.hpp"
 #include "core/policy.hpp"

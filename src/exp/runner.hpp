@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -21,7 +22,7 @@ struct RunnerOptions {
 /// One executed cell: its resolved spec, the simulation result, and the
 /// host wall-clock time the cell took (timing is reporting-only and never
 /// part of deterministic output).
-struct CellResult {
+struct [[nodiscard]] CellResult {
   CellSpec spec;
   core::RunResult result;
   double wall_seconds = 0.0;
@@ -31,7 +32,7 @@ struct CellResult {
 /// cells[i].spec.index == i — regardless of thread count, completion
 /// order, or submission order, which is what makes sweep output
 /// reproducible byte-for-byte.
-struct SweepResult {
+struct [[nodiscard]] SweepResult {
   std::vector<CellResult> cells;
   double wall_seconds = 0.0;  // whole sweep, host clock
   int threads = 1;

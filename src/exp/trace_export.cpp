@@ -105,7 +105,8 @@ std::size_t write_cell_traces(const std::string& dir, const SweepResult& sweep) 
                            std::to_string(c.spec.seed());
     options.procs = c.spec.params.procs;
     options.tag_namer = dlb_tag_name;
-    obs::write_chrome_trace(os, c.result.trace.get(), c.result.obs.get(), options);
+    obs::write_chrome_trace(os, core::to_activity_spans(c.result.trace.get()),
+                            c.result.obs.get(), options);
     ++written;
   }
   return written;

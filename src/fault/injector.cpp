@@ -24,8 +24,10 @@ void FaultInjector::arm(sim::Engine& engine, net::Network& network) {
   engine_ = &engine;
   for (const FaultSpec& spec : plan_.events) {
     if (spec.trigger.at_seconds >= 0.0) {
-      timed_.push_back(engine.schedule_cancellable_at(sim::from_seconds(spec.trigger.at_seconds),
-                                                      [this, spec] { fire(spec); }));
+      timed_.push_back(engine.schedule_cancellable_at(
+          sim::from_seconds(spec.trigger.at_seconds),
+          // dlblint:allow(schedule-ref-capture) armed injector outlives the run; cancel_pending() clears the timers
+          [this, spec] { fire(spec); }));
     } else {
       progress_pending_.push_back(spec);
     }

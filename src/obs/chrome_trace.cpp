@@ -12,20 +12,6 @@ namespace dlb::obs {
 
 namespace {
 
-const char* activity_name(core::ActivityKind k) noexcept {
-  switch (k) {
-    case core::ActivityKind::kCompute:
-      return "compute";
-    case core::ActivityKind::kSync:
-      return "sync";
-    case core::ActivityKind::kMove:
-      return "move";
-    case core::ActivityKind::kRecover:
-      return "recover";
-  }
-  return "?";
-}
-
 /// Virtual ns -> trace-event microseconds, exact: integer part plus up to
 /// three fractional digits (1 ns = 0.001 us), no floating point involved.
 std::string ts_us(sim::SimTime ns) {
@@ -109,7 +95,7 @@ class EventWriter {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os, const core::Trace* activity,
+void write_chrome_trace(std::ostream& os, std::span<const ActivitySpan> activity,
                         const Recorder* recorder, const ChromeTraceOptions& options) {
   const auto tag_name = [&options](int tag) {
     if (options.tag_namer) {
@@ -124,11 +110,9 @@ void write_chrome_trace(std::ostream& os, const core::Trace* activity,
   int tracks = options.procs;
   const auto see_track = [&tracks](int proc) { tracks = std::max(tracks, proc + 1); };
 
-  if (activity != nullptr) {
-    for (const auto& s : activity->segments()) {
-      see_track(s.proc);
-      slices.push_back({s.proc, s.begin, s.end, 0, activity_name(s.kind), "activity", 0, false});
-    }
+  for (const auto& s : activity) {
+    see_track(s.proc);
+    slices.push_back({s.proc, s.begin, s.end, 0, s.name, "activity", 0, false});
   }
   if (recorder != nullptr) {
     for (const auto& p : recorder->phases()) {

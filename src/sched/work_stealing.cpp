@@ -52,7 +52,7 @@ std::int64_t steal_amount(Share share, std::int64_t remaining, int procs) {
 }
 
 /// Answers one steal/query request from `mine`.
-sim::Task<void> answer_request(StealState& st, int self, const sim::Message& request) {
+sim::Task<void> answer_request(StealState& st, int self, sim::Message request) {
   auto& me = st.cluster->station(self);
   auto& mine = st.owned[static_cast<std::size_t>(self)];
   const auto& req = request.as<StealRequest>();

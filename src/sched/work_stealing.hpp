@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "cluster/cluster.hpp"
 #include "core/run_stats.hpp"
 #include "core/types.hpp"

@@ -31,6 +31,7 @@ Engine::~Engine() {
 Engine::CallNode* Engine::acquire_call_node() {
   if (free_calls_ == nullptr) {
     // Pool exhausted: grow by a chunk, never fail an in-flight schedule.
+    // dlblint:allow(hotpath-alloc) chunked pool growth is the sanctioned allocation point
     auto chunk = std::make_unique<CallNode[]>(kCallChunk);
     for (std::size_t i = 0; i < kCallChunk; ++i) {
       chunk[i].next_free = free_calls_;

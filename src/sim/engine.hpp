@@ -82,16 +82,19 @@ class Engine {
     } else {
       // Rare spill: captures wider than the inline buffer get one heap box.
       ::new (static_cast<void*>(node->storage))
+          // dlblint:allow(hotpath-alloc) sanctioned spill path for oversized captures
           Decayed*(new Decayed(std::forward<Fn>(fn)));
       node->run = [](CallNode& n) {
         auto* f = *std::launder(reinterpret_cast<Decayed**>(n.storage));
         struct Destroy {
           Decayed* f;
+          // dlblint:allow(hotpath-alloc) frees the spill box created above
           ~Destroy() { delete f; }
         } d{f};
         (*f)();
       };
       node->drop = [](CallNode& n) noexcept {
+        // dlblint:allow(hotpath-alloc) frees the spill box created above
         delete *std::launder(reinterpret_cast<Decayed**>(n.storage));
       };
     }
@@ -102,7 +105,7 @@ class Engine {
   /// once the callback fires (or is cancelled) the handle goes stale and
   /// further `cancel` calls are safe no-ops, even after the underlying node
   /// has been recycled for another callback.
-  class Timer {
+  class [[nodiscard]] Timer {
    public:
     Timer() = default;
 
@@ -162,7 +165,7 @@ class Engine {
 
   /// Awaitable for sleep_for/sleep_until: suspends the awaiting coroutine
   /// until `wake_at` (no-op if already past).
-  struct SleepAwaiter {
+  struct [[nodiscard]] SleepAwaiter {
     Engine& engine;
     SimTime wake_at;
     bool await_ready() const noexcept { return wake_at <= engine.now(); }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Compiles every header under src/ as its own translation unit
+# (-fsyntax-only).  A header that relies on a transitive include — the
+# drift dlblint's include-hygiene rule guards against for std symbols —
+# fails here for project includes too.
+#
+# usage: check_headers.sh <c++-compiler> <repo-root>
+CXX="$1"
+ROOT="$2"
+if [ -z "$CXX" ] || [ -z "$ROOT" ]; then
+  echo "usage: check_headers.sh <c++-compiler> <repo-root>" >&2
+  exit 2
+fi
+
+fail=0
+for h in $(find "$ROOT/src" -name '*.hpp' | sort); do
+  rel=${h#"$ROOT"/src/}
+  if ! printf '#include "%s"\n' "$rel" |
+      "$CXX" -std=c++20 -fsyntax-only -x c++ -I "$ROOT/src" -; then
+    echo "not self-contained: $rel" >&2
+    fail=1
+  fi
+done
+exit $fail

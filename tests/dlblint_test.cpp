@@ -1,0 +1,153 @@
+// Drives the dlblint rules in-process over the violation corpus
+// (tests/lint_corpus): every bad fixture must fire exactly its rule, every
+// good fixture must lint clean, and the aggregate JSON must match the
+// checked-in golden byte for byte on every run.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dlblint/driver.hpp"
+
+namespace {
+
+using dlb::lint::Diagnostic;
+
+struct CorpusEntry {
+  const char* rule;     // corpus directory name
+  const char* virtual_path;  // path the fixtures are linted as
+  const char* ext;      // fixture extension
+};
+
+// One row per corpus directory; the virtual path forces the scope the rule
+// guards (src/sim, src/core, ...) even though the fixtures live in tests/.
+const CorpusEntry kCorpus[] = {
+    {"wall-clock", "src/sim/corpus_wall_clock.cpp", "cpp"},
+    {"ambient-random", "src/sim/corpus_ambient_random.cpp", "cpp"},
+    {"env-read", "src/sim/corpus_env_read.cpp", "cpp"},
+    {"unordered-iter", "src/core/corpus_unordered_iter.cpp", "cpp"},
+    {"pointer-keyed", "src/core/corpus_pointer_keyed.cpp", "cpp"},
+    {"schedule-ref-capture", "src/sim/corpus_schedule_ref_capture.cpp", "cpp"},
+    {"coro-ref-param", "src/core/corpus_coro_ref_param.cpp", "cpp"},
+    {"unawaited-task", "src/core/corpus_unawaited_task.cpp", "cpp"},
+    {"hotpath-alloc", "src/sim/corpus_hotpath_alloc.cpp", "cpp"},
+    {"recorder-guard", "src/core/corpus_recorder_guard.cpp", "cpp"},
+    {"layer-order", "src/sim/corpus_layer_order.cpp", "cpp"},
+    {"include-hygiene", "src/sim/corpus_include_hygiene.hpp", "hpp"},
+};
+
+std::string corpus_dir() { return DLBLINT_CORPUS_DIR; }
+
+std::vector<Diagnostic> lint_fixture(const CorpusEntry& e, const char* which) {
+  const std::string disk =
+      corpus_dir() + "/" + e.rule + "/" + which + "." + e.ext;
+  return dlb::lint::lint_files({{disk, e.virtual_path}});
+}
+
+class DlblintCorpus : public testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(DlblintCorpus, BadFiresExactlyItsRule) {
+  const CorpusEntry& e = GetParam();
+  const std::vector<Diagnostic> diags = lint_fixture(e, "bad");
+  ASSERT_FALSE(diags.empty()) << e.rule << "/bad must trigger its rule";
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, e.rule) << "unexpected rule in " << e.rule << "/bad: " << d.rule << " ("
+                              << d.message << ")";
+    EXPECT_EQ(d.file, e.virtual_path);
+    EXPECT_GT(d.line, 0);
+  }
+}
+
+TEST_P(DlblintCorpus, GoodLintsClean) {
+  const CorpusEntry& e = GetParam();
+  const std::vector<Diagnostic> diags = lint_fixture(e, "good");
+  for (const Diagnostic& d : diags) {
+    ADD_FAILURE() << e.rule << "/good fired " << d.rule << " at line " << d.line << ": "
+                  << d.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, DlblintCorpus, testing::ValuesIn(kCorpus),
+                         [](const testing::TestParamInfo<CorpusEntry>& info) {
+                           std::string name = info.param.rule;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// The suppression fixtures exercise the driver rather than one rule: a bare
+// allow and an unknown-rule allow are diagnostics of their own and do not
+// waive anything, while a justified allow silences its line and the next.
+TEST(DlblintSuppression, BareAndUnknownAllowsAreDiagnosed) {
+  const std::vector<Diagnostic> diags = dlb::lint::lint_files(
+      {{corpus_dir() + "/suppression/bad.cpp", "src/sim/corpus_suppression.cpp"}});
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : diags) rules.push_back(d.rule);
+  EXPECT_EQ(rules, (std::vector<std::string>{"bare-allow", "env-read", "unknown-rule",
+                                             "env-read"}));
+}
+
+TEST(DlblintSuppression, JustifiedAllowWaivesTheFinding) {
+  const std::vector<Diagnostic> diags = dlb::lint::lint_files(
+      {{corpus_dir() + "/suppression/good.cpp", "src/sim/corpus_suppression.cpp"}});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(DlblintSuppression, CoverageIsLineAndNextOnly) {
+  const std::string src =
+      "// dlblint:allow(env-read) only reaches the next line\n"
+      "\n"
+      "const char* a() { return getenv(\"A\"); }\n";
+  dlb::lint::Project project;
+  const std::vector<Diagnostic> diags =
+      dlb::lint::lint_source(src, "src/sim/far.cpp", project);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "env-read");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+// Rule selection: --rules restricts the run without touching the registry,
+// so a wall-clock fixture linted with only env-read enabled comes back clean.
+TEST(DlblintOptions, RulesFilterSelectsSubset) {
+  dlb::lint::Options only_env;
+  only_env.rules = {"env-read"};
+  const std::vector<Diagnostic> diags = dlb::lint::lint_files(
+      {{corpus_dir() + "/wall-clock/bad.cpp", "src/sim/corpus_wall_clock.cpp"}}, only_env);
+  EXPECT_TRUE(diags.empty());
+}
+
+// The golden file pins both the exact findings (file, line, rule, message)
+// and the JSON shape.  Regenerate by deleting expected.json and copying the
+// failure output, then review the diff like any other behavior change.
+std::string aggregate_json() {
+  std::vector<Diagnostic> all;
+  for (const CorpusEntry& e : kCorpus) {
+    for (const char* which : {"bad", "good"}) {
+      const std::vector<Diagnostic> diags = lint_fixture(e, which);
+      all.insert(all.end(), diags.begin(), diags.end());
+    }
+  }
+  for (const char* which : {"bad", "good"}) {
+    const std::vector<Diagnostic> diags = dlb::lint::lint_files(
+        {{corpus_dir() + "/suppression/" + which + ".cpp", "src/sim/corpus_suppression.cpp"}});
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  std::sort(all.begin(), all.end());
+  return dlb::lint::render_json(all);
+}
+
+TEST(DlblintGolden, CorpusJsonMatchesExpected) {
+  std::ifstream in(corpus_dir() + "/expected.json");
+  ASSERT_TRUE(in) << "missing " << corpus_dir() << "/expected.json";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(aggregate_json(), want.str());
+}
+
+TEST(DlblintGolden, JsonIsByteStableAcrossRuns) {
+  EXPECT_EQ(aggregate_json(), aggregate_json());
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Linted as src/sim/corpus_ambient_random.cpp: hidden global randomness
+// makes two runs of the same seed diverge.
+#include <cstdlib>
+#include <random>
+
+namespace dlb::sim {
+
+int roll() {
+  std::random_device entropy;
+  return static_cast<int>(entropy() % 6u) + rand() % 6;
+}
+
+}  // namespace dlb::sim

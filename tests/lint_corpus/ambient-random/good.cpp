@@ -1,0 +1,9 @@
+// Linted as src/sim/corpus_ambient_random.cpp: every random draw flows
+// through an explicitly seeded support::Rng.
+#include "support/rng.hpp"
+
+namespace dlb::sim {
+
+int roll(support::Rng& rng) { return static_cast<int>(rng.uniform_int(1, 6)); }
+
+}  // namespace dlb::sim

@@ -1,0 +1,16 @@
+// Linted as src/core/corpus_coro_ref_param.cpp: a const&/&& coroutine
+// parameter can bind a temporary that dies at the first suspension point.
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace dlb::core {
+
+sim::Task<int> parse_plan(const std::vector<int>& transfers);
+
+sim::Task<void> consume_label(std::string&& label);
+
+sim::Process replay(const std::string& log_name, int self);
+
+}  // namespace dlb::core

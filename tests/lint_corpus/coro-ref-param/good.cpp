@@ -1,0 +1,19 @@
+// Linted as src/core/corpus_coro_ref_param.cpp: by-value parameters are
+// copied into the coroutine frame; mutable lvalue references are the actor
+// idiom for Runtime-owned state and cannot bind temporaries.
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace dlb::core {
+
+struct LoopContext;
+
+sim::Task<int> parse_plan(std::vector<int> transfers);
+
+sim::Task<void> consume_label(std::string label);
+
+sim::Process replay(LoopContext& ctx, std::string log_name, int self);
+
+}  // namespace dlb::core

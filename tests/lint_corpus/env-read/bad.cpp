@@ -1,0 +1,9 @@
+// Linted as src/sim/corpus_env_read.cpp: reading the host environment makes
+// simulation behavior machine-dependent.
+#include <cstdlib>
+
+namespace dlb::sim {
+
+const char* trace_dir() { return std::getenv("DLB_TRACE_DIR"); }
+
+}  // namespace dlb::sim

@@ -1,0 +1,9 @@
+// Linted as src/sim/corpus_env_read.cpp: configuration arrives through
+// explicit parameters, resolved by the CLI layer outside the simulator.
+#include <string>
+
+namespace dlb::sim {
+
+std::string trace_dir(std::string configured) { return configured; }
+
+}  // namespace dlb::sim

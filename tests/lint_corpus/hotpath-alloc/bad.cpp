@@ -1,0 +1,19 @@
+// Linted as src/sim/corpus_hotpath_alloc.cpp: the event loop is
+// allocation-free by design; per-event heap traffic breaks that budget.
+#include <memory>
+
+namespace dlb::sim {
+
+struct PoolEvent {
+  PoolEvent* next = nullptr;
+};
+
+PoolEvent* fresh() {
+  auto boxed = std::make_unique<PoolEvent>();
+  (void)boxed;
+  return new PoolEvent;
+}
+
+void drop(PoolEvent* e) { delete e; }
+
+}  // namespace dlb::sim

@@ -1,0 +1,24 @@
+// Linted as src/sim/corpus_hotpath_alloc.cpp: recycle nodes through an
+// intrusive free list; the pool owns the storage.
+namespace dlb::sim {
+
+struct PoolEvent {
+  PoolEvent* next = nullptr;
+};
+
+struct EventPool {
+  PoolEvent* free_list = nullptr;
+
+  PoolEvent* acquire() {
+    PoolEvent* e = free_list;
+    if (e != nullptr) free_list = e->next;
+    return e;
+  }
+
+  void release(PoolEvent* e) {
+    e->next = free_list;
+    free_list = e;
+  }
+};
+
+}  // namespace dlb::sim

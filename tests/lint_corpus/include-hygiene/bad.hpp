@@ -1,0 +1,15 @@
+// Linted as src/sim/corpus_include_hygiene.hpp: std::size_t and std::string
+// arrive transitively today and vanish the day an unrelated include is
+// cleaned up.
+#pragma once
+
+#include <vector>
+
+namespace dlb::sim {
+
+struct Snapshot {
+  std::vector<std::size_t> counts;
+  std::string label;
+};
+
+}  // namespace dlb::sim

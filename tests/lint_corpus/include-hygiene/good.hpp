@@ -1,0 +1,16 @@
+// Linted as src/sim/corpus_include_hygiene.hpp: every std symbol's home
+// header is included directly, so the header stays self-contained.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlb::sim {
+
+struct Snapshot {
+  std::vector<std::size_t> counts;
+  std::string label;
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,11 @@
+// Linted as src/sim/corpus_layer_order.cpp: sim sits below core in the link
+// graph (support <- sim/obs <- net <- ... <- core), so reaching up is an
+// inversion the build would reject.
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace dlb::sim {
+
+double scale(double x) { return x; }
+
+}  // namespace dlb::sim

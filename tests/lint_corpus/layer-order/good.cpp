@@ -1,0 +1,10 @@
+// Linted as src/sim/corpus_layer_order.cpp: sim may include itself and
+// support, its only link-time dependency.
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+
+namespace dlb::sim {
+
+double scale(double x) { return x; }
+
+}  // namespace dlb::sim

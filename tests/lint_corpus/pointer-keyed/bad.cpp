@@ -1,0 +1,14 @@
+// Linted as src/core/corpus_pointer_keyed.cpp: pointer keys order by address,
+// which ASLR reshuffles on every run.
+#include <map>
+#include <set>
+
+namespace dlb::sim {
+
+struct Station;
+
+using Waiters = std::set<Station*>;
+
+std::map<const Station*, int> station_ranks;
+
+}  // namespace dlb::sim

@@ -1,0 +1,12 @@
+// Linted as src/core/corpus_pointer_keyed.cpp: key by the stable processor
+// id, never by the object's address.
+#include <map>
+#include <set>
+
+namespace dlb::sim {
+
+using Waiters = std::set<int>;
+
+std::map<int, int> station_ranks;
+
+}  // namespace dlb::sim

@@ -1,0 +1,15 @@
+// Linted as src/sim/corpus_schedule_ref_capture.cpp: the callback runs at a
+// later virtual time, after `counter`'s scope (and `this`) can be gone.
+#include "sim/engine.hpp"
+
+namespace dlb::sim {
+
+struct Widget {
+  void arm(Engine& engine, int& counter) {
+    engine.schedule_at(10, [&counter] { ++counter; });
+    engine.schedule_at(20, [this] { fire(); });
+  }
+  void fire() {}
+};
+
+}  // namespace dlb::sim

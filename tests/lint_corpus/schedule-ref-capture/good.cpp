@@ -1,0 +1,15 @@
+// Linted as src/sim/corpus_schedule_ref_capture.cpp: capture by value, or
+// make the pointer choice explicit with an init-capture.
+#include "sim/engine.hpp"
+
+namespace dlb::sim {
+
+struct Widget {
+  void arm(Engine& engine, int counter) {
+    engine.schedule_at(10, [counter] { (void)counter; });
+    engine.schedule_at(20, [self = this] { self->fire(); });
+  }
+  void fire() {}
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,14 @@
+// Linted as src/sim/corpus_suppression.cpp: a waiver with no justification
+// and a waiver naming an unregistered rule are both diagnostics — the
+// finding they meant to silence still fires.
+#include <cstdlib>
+
+namespace dlb::sim {
+
+// dlblint:allow(env-read)
+const char* first() { return std::getenv("DLB_A"); }
+
+// dlblint:allow(no-such-rule) typo'd rule ids must not silently waive
+const char* second() { return std::getenv("DLB_B"); }
+
+}  // namespace dlb::sim

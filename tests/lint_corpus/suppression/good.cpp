@@ -1,0 +1,10 @@
+// Linted as src/sim/corpus_suppression.cpp: a justified waiver names the
+// rule and says why the site is sanctioned; it covers its line and the next.
+#include <cstdlib>
+
+namespace dlb::sim {
+
+// dlblint:allow(env-read) corpus exemplar: the one sanctioned env probe
+const char* first() { return std::getenv("DLB_A"); }
+
+}  // namespace dlb::sim

@@ -1,0 +1,13 @@
+// Linted as src/core/corpus_unawaited_task.cpp: a Task starts suspended, so
+// calling one as a bare statement silently does nothing.
+#include "sim/task.hpp"
+
+namespace dlb::core {
+
+sim::Task<void> drain(int rounds);
+
+void tick(int rounds) {
+  drain(rounds);
+}
+
+}  // namespace dlb::core

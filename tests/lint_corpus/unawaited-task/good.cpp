@@ -1,0 +1,13 @@
+// Linted as src/core/corpus_unawaited_task.cpp: a Task's body only runs
+// once something co_awaits it.
+#include "sim/task.hpp"
+
+namespace dlb::core {
+
+sim::Task<void> drain(int rounds);
+
+sim::Task<void> tick(int rounds) {
+  co_await drain(rounds);
+}
+
+}  // namespace dlb::core

@@ -1,0 +1,13 @@
+// Linted as src/core/corpus_unordered_iter.cpp: unordered iteration order is
+// hash-seed dependent, so any fold over it varies run to run.
+#include <unordered_map>
+
+namespace dlb::sim {
+
+double total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) sum += entry.second;
+  return sum;
+}
+
+}  // namespace dlb::sim

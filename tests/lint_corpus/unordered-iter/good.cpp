@@ -1,0 +1,13 @@
+// Linted as src/core/corpus_unordered_iter.cpp: an ordered map folds in key
+// order, identically on every run.
+#include <map>
+
+namespace dlb::sim {
+
+double total(const std::map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& entry : weights) sum += entry.second;
+  return sum;
+}
+
+}  // namespace dlb::sim

@@ -1,0 +1,14 @@
+// Linted as src/sim/corpus_wall_clock.cpp: host clocks inside a simulation
+// path break bit-identical replay.
+#include <chrono>
+#include <ctime>
+
+namespace dlb::sim {
+
+double host_seconds() {
+  const auto now = std::chrono::steady_clock::now();
+  const double wall = static_cast<double>(time(nullptr));
+  return wall + std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace dlb::sim

@@ -14,6 +14,7 @@ namespace {
 
 using dlb::core::ActivityKind;
 using dlb::core::Trace;
+using dlb::core::to_activity_spans;
 using dlb::obs::ChromeTraceOptions;
 using dlb::obs::InstantKind;
 using dlb::obs::PhaseKind;
@@ -76,7 +77,7 @@ void expect_valid_json_structure(const std::string& doc) {
 
 TEST(ChromeTrace, EmptyInputsStillProduceValidDocument) {
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, nullptr);
+  write_chrome_trace(os, {}, nullptr);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   EXPECT_NE(doc.find("process_name"), std::string::npos);
@@ -86,7 +87,7 @@ TEST(ChromeTrace, OneNamedTrackPerWorkstation) {
   ChromeTraceOptions options;
   options.procs = 3;
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, nullptr, options);
+  write_chrome_trace(os, {}, nullptr, options);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   for (int p = 0; p < 3; ++p) {
@@ -102,7 +103,7 @@ TEST(ChromeTrace, ActivityAndPhaseSlices) {
   Recorder rec;
   rec.phase(1, PhaseKind::kSync, from_seconds(0.25), from_seconds(0.5), 3);
   std::ostringstream os;
-  write_chrome_trace(os, &activity, &rec);
+  write_chrome_trace(os, to_activity_spans(&activity), &rec);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   EXPECT_NE(doc.find("\"name\":\"compute\",\"cat\":\"activity\""), std::string::npos);
@@ -116,7 +117,7 @@ TEST(ChromeTrace, TimestampsAreExactMicroseconds) {
   Recorder rec;
   rec.phase(0, PhaseKind::kProfile, 1234567, 2000001);  // ns
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, &rec);
+  write_chrome_trace(os, {}, &rec);
   const std::string doc = os.str();
   // 1234567 ns = 1234.567 us; dur = 765434 ns = 765.434 us.  Exact decimal,
   // no floating point rounding.
@@ -131,7 +132,7 @@ TEST(ChromeTrace, MessageFlowsPairUpAndDropsBecomeMarkers) {
   ChromeTraceOptions options;
   options.tag_namer = [](int tag) { return tag == 101 ? std::string("profile") : std::string(); };
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, &rec, options);
+  write_chrome_trace(os, {}, &rec, options);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   // Delivered frame: one flow start + one flow finish with the same id.
@@ -150,7 +151,7 @@ TEST(ChromeTrace, InstantsAndCounterSamples) {
   rec.instant(2, InstantKind::kInterrupt, from_seconds(0.5), 7);
   rec.sample("engine.queue_depth", from_seconds(0.5), 12.0);
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, &rec);
+  write_chrome_trace(os, {}, &rec);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   EXPECT_NE(doc.find("\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":2"), std::string::npos);
@@ -170,7 +171,7 @@ TEST(ChromeTrace, OutputIsDeterministic) {
     rec.message(0, 1, 102, 256, from_seconds(0.1), from_seconds(0.15), false);
     rec.instant(1, InstantKind::kHandout, from_seconds(0.6), 8);
     std::ostringstream os;
-    write_chrome_trace(os, &activity, &rec);
+    write_chrome_trace(os, to_activity_spans(&activity), &rec);
     return os.str();
   };
   EXPECT_EQ(render(), render());
@@ -180,7 +181,7 @@ TEST(ChromeTrace, ProcessNameIsEscaped) {
   ChromeTraceOptions options;
   options.process_name = "mxm \"quoted\" \\ run";
   std::ostringstream os;
-  write_chrome_trace(os, nullptr, nullptr, options);
+  write_chrome_trace(os, {}, nullptr, options);
   const std::string doc = os.str();
   expect_valid_json_structure(doc);
   EXPECT_NE(doc.find("mxm \\\"quoted\\\" \\\\ run"), std::string::npos);

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlblint/rules.hpp"
+
+namespace dlb::lint {
+
+struct Options {
+  /// Restrict to these rule ids; empty = all rules.
+  std::vector<std::string> rules;
+};
+
+/// One input: a file on disk plus the repo-relative path rules should treat
+/// it as ("virtual path") — identical to the disk path for a tree scan, but
+/// corpus fixtures force e.g. "src/sim/fixture.cpp" so scoped rules fire.
+struct Input {
+  std::string disk_path;
+  std::string virtual_path;
+};
+
+/// Lints one already-loaded source text (exposed for unit tests).
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& source,
+                                                  const std::string& virtual_path,
+                                                  const Project& project,
+                                                  const Options& options = {});
+
+/// Reads, lexes and lints `inputs` (two passes: project facts, then rules),
+/// returning diagnostics sorted by (file, line, rule, message).  Suppression
+/// comments are honored; malformed suppressions produce diagnostics of their
+/// own.  Throws std::runtime_error on unreadable files.
+[[nodiscard]] std::vector<Diagnostic> lint_files(const std::vector<Input>& inputs,
+                                                 const Options& options = {});
+
+/// Discovers the scanned tree under `root`: src/, bench/, tests/ and
+/// tools/dlblint (self-check), excluding tests/lint_corpus (intentional
+/// violations).  Paths come back sorted, repo-relative.
+[[nodiscard]] std::vector<Input> discover(const std::string& root);
+
+[[nodiscard]] std::string render_human(const std::vector<Diagnostic>& diags);
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace dlb::lint

@@ -1,0 +1,182 @@
+#include "dlblint/lexer.hpp"
+
+#include <cctype>
+
+namespace dlb::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Operators kept fused because a rule distinguishes them from their parts
+/// (`&&` rvalue-ref vs `&` capture, `->` member access, `::` qualification,
+/// `==`/`!=` null checks).  Everything else is a single character; notably
+/// `<` and `>` are never fused so template scans can count depth.
+bool fused_pair(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>') || (a == '&' && b == '&') ||
+         (a == '|' && b == '|') || (a == '=' && b == '=') || (a == '!' && b == '=') ||
+         (a == '<' && b == '=') || (a == '>' && b == '=');
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_line = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t' || c == '\f' || c == '\v') {
+      advance_line(c);
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; join backslash splices.
+    if (c == '#' && at_line_start) {
+      Token t{TokenKind::kPreprocessor, "", line};
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && (src[i + 1] == '\n' || src[i + 1] == '\r')) {
+          i += 2;
+          if (i <= n && src[i - 1] == '\r' && i < n && src[i] == '\n') ++i;
+          ++line;
+          t.text.push_back(' ');
+          continue;
+        }
+        if (src[i] == '\n') break;
+        t.text.push_back(src[i]);
+        ++i;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      Token t{TokenKind::kComment, "", line};
+      i += 2;
+      while (i < n && src[i] != '\n') t.text.push_back(src[i++]);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      Token t{TokenKind::kComment, "", line};
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        advance_line(src[i]);
+        t.text.push_back(src[i++]);
+      }
+      i = i + 1 < n ? i + 2 : n;
+      at_line_start = false;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Raw string literal, with optional encoding prefix: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() <= 16) delim.push_back(src[j++]);
+      if (j < n && src[j] == '(') {
+        Token t{TokenKind::kString, "", line};
+        const std::string close = ")" + delim + "\"";
+        std::size_t k = j + 1;
+        while (k < n && src.compare(k, close.size(), close) != 0) {
+          advance_line(src[k]);
+          t.text.push_back(src[k++]);
+        }
+        i = k < n ? k + close.size() : n;
+        at_line_start = false;
+        out.push_back(std::move(t));
+        continue;
+      }
+      // '"' after R that is not a raw string: fall through as identifier 'R'.
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token t{quote == '"' ? TokenKind::kString : TokenKind::kChar, "", line};
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          t.text.push_back(src[i]);
+          t.text.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;  // unterminated: stop at EOL, stay robust
+        t.text.push_back(src[i++]);
+      }
+      if (i < n && src[i] == quote) ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (ident_start(c)) {
+      Token t{TokenKind::kIdentifier, "", line};
+      while (i < n && ident_char(src[i])) t.text.push_back(src[i++]);
+      // Encoding-prefixed string like u8"..." — re-lex the literal part.
+      if (i < n && src[i] == '"' && (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L")) {
+        at_line_start = false;
+        continue;  // prefix token kept; quote handled next iteration
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      Token t{TokenKind::kNumber, "", line};
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          t.text.push_back(d);
+          ++i;
+          // exponent sign: 1e+9, 0x1p-3
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (src[i] == '+' || src[i] == '-')) {
+            t.text.push_back(src[i++]);
+          }
+          continue;
+        }
+        break;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation, fusing the handful of pairs the rules care about.
+    Token t{TokenKind::kPunct, std::string(1, c), line};
+    if (i + 1 < n && fused_pair(c, src[i + 1])) {
+      t.text.push_back(src[i + 1]);
+      i += 2;
+    } else {
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Token> significant(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment && t.kind != TokenKind::kPreprocessor) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace dlb::lint

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlb::lint {
+
+/// Token kinds sufficient for scope-aware pattern rules.  The lexer is not a
+/// full C++ front end: it only has to classify identifiers, literals,
+/// punctuation, comments and preprocessor lines well enough that string and
+/// comment *content* never leaks into identifier scans (a "steady_clock"
+/// inside a diagnostic message must not trip the wall-clock rule).
+enum class TokenKind {
+  kIdentifier,    // keywords included — rules match by spelling
+  kNumber,        // integer / float literal, any base
+  kString,        // "..." or R"(...)" including prefix, quotes stripped
+  kChar,          // '...'
+  kPunct,         // one operator or separator (see lexer for fused pairs)
+  kComment,       // // or /* */, text without delimiters
+  kPreprocessor,  // whole logical # line, continuations joined
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based start line
+};
+
+/// Lexes `source` into tokens.  Never fails: malformed input degrades to
+/// punctuation tokens, which at worst makes a rule miss — the tool must not
+/// crash on any file the compiler itself rejects.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+/// The subsequence of `tokens` that rules scan: comments and preprocessor
+/// lines removed (they are handled separately for suppressions / includes).
+[[nodiscard]] std::vector<Token> significant(const std::vector<Token>& tokens);
+
+}  // namespace dlb::lint

@@ -1,0 +1,20 @@
+#include "dlblint/rules.hpp"
+
+namespace dlb::lint {
+
+void register_determinism_rules(std::vector<Rule>& rules);
+void register_coroutine_rules(std::vector<Rule>& rules);
+void register_layer_rules(std::vector<Rule>& rules);
+
+const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> kRules = [] {
+    std::vector<Rule> rules;
+    register_determinism_rules(rules);
+    register_coroutine_rules(rules);
+    register_layer_rules(rules);
+    return rules;
+  }();
+  return kRules;
+}
+
+}  // namespace dlb::lint

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dlblint/lexer.hpp"
+
+namespace dlb::lint {
+
+struct Diagnostic {
+  std::string file;  // repo-relative path, '/' separators
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline bool operator<(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+/// Whole-repo facts gathered in a first pass and shared by every rule.
+struct Project {
+  /// Names of functions declared with return type `Task<...>` anywhere in
+  /// the scanned tree (the unawaited-task rule needs the full set because
+  /// callers and callees live in different files).
+  std::set<std::string> task_functions;
+};
+
+/// One lexed file as the rules see it.  `path` is the virtual repo-relative
+/// path used for scoping — for corpus files it is forced by the test driver
+/// so a fixture can exercise a src/sim-scoped rule from tests/lint_corpus.
+struct FileUnit {
+  std::string path;
+  std::vector<Token> all;  // includes comments + preprocessor lines
+  std::vector<Token> sig;  // significant tokens only
+};
+
+using RuleFn = void (*)(const FileUnit&, const Project&, std::vector<Diagnostic>&);
+
+struct Rule {
+  const char* id;
+  const char* family;   // determinism | coroutine | layering | hygiene
+  const char* summary;  // one line for --list-rules and docs
+  RuleFn fn;
+};
+
+/// The registry, in stable documentation order.
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+// ---- shared helpers (defined in rules_common.cpp) ----
+
+/// First path component after "src/" ("sim", "core", ...), empty otherwise.
+[[nodiscard]] std::string module_of(const std::string& path);
+
+/// True when `path` is inside one of the determinism-guarded modules
+/// (src/sim, src/core, src/net, src/fault, src/obs).
+[[nodiscard]] bool in_guarded_dirs(const std::string& path);
+
+[[nodiscard]] bool is_header(const std::string& path);
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Index of the matching closer for an opener at `open` ('(', '[', '{', '<'),
+/// or `sig.size()` when unbalanced.  For '<' the scan is template-arg
+/// heuristic: ';' or '{' aborts (comparison, not template).
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& sig, std::size_t open);
+
+/// Populates `project` facts from one file (pass 1).
+void collect_project_facts(const FileUnit& unit, Project& project);
+
+/// A detected coroutine signature: `Task<...> name(` or `Process name(`
+/// (optionally `sim::`-qualified).  `name` / `lparen` are indices into the
+/// significant token stream.
+struct CoroSig {
+  std::size_t name = 0;
+  std::size_t lparen = 0;
+  bool is_process = false;
+};
+[[nodiscard]] std::vector<CoroSig> coroutine_signatures(const std::vector<Token>& sig);
+
+}  // namespace dlb::lint

@@ -1,0 +1,87 @@
+#include "dlblint/rules.hpp"
+
+namespace dlb::lint {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string module_of(const std::string& path) {
+  if (!starts_with(path, "src/")) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+bool in_guarded_dirs(const std::string& path) {
+  const std::string m = module_of(path);
+  return m == "sim" || m == "core" || m == "net" || m == "fault" || m == "obs";
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+std::size_t match_forward(const std::vector<Token>& sig, std::size_t open) {
+  if (open >= sig.size()) return sig.size();
+  const std::string& o = sig[open].text;
+  std::string close;
+  if (o == "(") close = ")";
+  else if (o == "[") close = "]";
+  else if (o == "{") close = "}";
+  else if (o == "<") close = ">";
+  else return sig.size();
+  int depth = 0;
+  for (std::size_t i = open; i < sig.size(); ++i) {
+    const std::string& t = sig[i].text;
+    if (o == "<" && (t == ";" || t == "{")) return sig.size();  // not a template list
+    if (t == o) ++depth;
+    else if (t == close && --depth == 0) return i;
+  }
+  return sig.size();
+}
+
+namespace {
+
+/// Matches `Task` `<` ... `>` IDENT `(` anchored at index `i` (the `Task`
+/// token) and reports the IDENT index, or npos.  This is the shared shape
+/// for "declared coroutine returning Task<...>".
+std::size_t task_function_name_index(const std::vector<Token>& sig, std::size_t i) {
+  if (sig[i].text != "Task" || i + 1 >= sig.size() || sig[i + 1].text != "<") return sig.size();
+  const std::size_t close = match_forward(sig, i + 1);
+  if (close == sig.size() || close + 2 >= sig.size()) return sig.size();
+  if (sig[close + 1].kind != TokenKind::kIdentifier) return sig.size();
+  if (sig[close + 2].text != "(") return sig.size();
+  return close + 1;
+}
+
+}  // namespace
+
+void collect_project_facts(const FileUnit& unit, Project& project) {
+  const std::vector<Token>& sig = unit.sig;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const std::size_t name = task_function_name_index(sig, i);
+    if (name != sig.size()) project.task_functions.insert(sig[name].text);
+  }
+}
+
+std::vector<CoroSig> coroutine_signatures(const std::vector<Token>& sig) {
+  std::vector<CoroSig> out;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (sig[i].kind != TokenKind::kIdentifier) continue;
+    if (sig[i].text == "Task") {
+      const std::size_t name = task_function_name_index(sig, i);
+      if (name != sig.size()) out.push_back(CoroSig{name, name + 1, false});
+      continue;
+    }
+    // `Process name(` — but not `Process(` (constructor) and not a
+    // parameter (`Process p)` has no following `(`).
+    if (sig[i].text == "Process" && i + 2 < sig.size() &&
+        sig[i + 1].kind == TokenKind::kIdentifier && sig[i + 2].text == "(") {
+      out.push_back(CoroSig{i + 1, i + 2, true});
+    }
+  }
+  return out;
+}
+
+}  // namespace dlb::lint

@@ -1,0 +1,169 @@
+// Coroutine-lifetime rule family.  The failure mode these guard against is a
+// coroutine frame outliving something it captured: a lambda handed to
+// Engine::schedule_at runs at a later virtual time, after the scheduling
+// scope is gone, so reference (or `this`) captures dangle; a parameter taken
+// by const-ref or rvalue-ref in a Task/Process coroutine can bind a
+// temporary that dies at the first suspension point; a Task that is never
+// co_awaited silently does nothing (it starts suspended by design).
+#include <set>
+
+#include "dlblint/rules.hpp"
+
+namespace dlb::lint {
+namespace {
+
+bool scoped_to_src(const std::string& path) { return starts_with(path, "src/"); }
+
+/// True when the `[` at `i` opens a lambda introducer rather than a
+/// subscript: a subscript always follows a value (identifier, literal,
+/// `)`, `]`); an introducer follows an operator, `(`, `,` or statement
+/// punctuation.
+bool is_lambda_intro(const std::vector<Token>& sig, std::size_t i) {
+  if (i == 0) return true;
+  const Token& p = sig[i - 1];
+  if (p.kind == TokenKind::kIdentifier && p.text != "return" && p.text != "co_return" &&
+      p.text != "co_await")
+    return false;
+  if (p.kind == TokenKind::kNumber || p.kind == TokenKind::kString) return false;
+  return p.text != ")" && p.text != "]";
+}
+
+static const std::set<std::string> kScheduleFns = {"schedule_at", "schedule_cancellable_at",
+                                                   "schedule_resume"};
+
+void rule_schedule_ref_capture(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!scoped_to_src(u.path)) return;
+  const std::vector<Token>& sig = u.sig;
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (sig[i].kind != TokenKind::kIdentifier || kScheduleFns.count(sig[i].text) == 0) continue;
+    if (sig[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(sig, i + 1);
+    for (std::size_t j = i + 2; j < close && j < sig.size(); ++j) {
+      if (sig[j].text != "[" || !is_lambda_intro(sig, j)) continue;
+      const std::size_t intro_close = match_forward(sig, j);
+      if (intro_close == sig.size()) continue;
+      // Walk the capture list, item by item at depth 0.
+      std::size_t item = j + 1;
+      int depth = 0;
+      bool item_has_init = false;  // saw '=' inside the current item
+      for (std::size_t k = j + 1; k <= intro_close; ++k) {
+        const std::string& t = sig[k].text;
+        if (t == "(" || t == "[" || t == "<" || t == "{") ++depth;
+        else if (t == ")" || t == ">" || t == "}") --depth;
+        if (k == intro_close || (t == "," && depth == 0)) {
+          // Item span [item, k): flag `&`-prefixed and `this` captures;
+          // init-captures ([p = &x]) are deliberate by-value choices.
+          if (item < k && !item_has_init) {
+            if (sig[item].text == "&") {
+              out.push_back({u.path, sig[item].line, "schedule-ref-capture",
+                             "reference capture in a lambda handed to '" + sig[i].text +
+                                 "'; the callback runs later in virtual time, after the "
+                                 "scheduling scope can be gone — capture by value"});
+            } else if (sig[item].text == "this") {
+              out.push_back({u.path, sig[item].line, "schedule-ref-capture",
+                             "'this' captured into a lambda handed to '" + sig[i].text +
+                                 "'; the object may be destroyed before the callback fires"});
+            }
+          }
+          item = k + 1;
+          item_has_init = false;
+          continue;
+        }
+        if (t == "=" && depth == 0 && k > item) item_has_init = true;
+      }
+      j = intro_close;
+    }
+  }
+}
+
+void rule_coro_ref_param(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!scoped_to_src(u.path)) return;
+  const std::vector<Token>& sig = u.sig;
+  for (const CoroSig& fn : coroutine_signatures(sig)) {
+    const std::size_t close = match_forward(sig, fn.lparen);
+    if (close == sig.size()) continue;
+    int depth = 0;
+    std::size_t param = fn.lparen + 1;
+    for (std::size_t k = fn.lparen + 1; k <= close; ++k) {
+      const std::string& t = sig[k].text;
+      if (t == "(" || t == "<" || t == "[" || t == "{") ++depth;
+      else if (t == ">" || t == "]" || t == "}") --depth;
+      else if (t == ")" && k != close) --depth;
+      if (k == close || (t == "," && depth == 0)) {
+        bool has_const = false, has_ref = false, has_rvref = false;
+        for (std::size_t p = param; p < k; ++p) {
+          if (sig[p].text == "const") has_const = true;
+          else if (sig[p].text == "&") has_ref = true;
+          else if (sig[p].text == "&&") has_rvref = true;
+          else if (sig[p].text == "=") break;  // default argument: stop scanning
+        }
+        // Mutable lvalue refs are the sanctioned actor idiom here (they
+        // cannot bind temporaries and the referents are Runtime-owned);
+        // const& and && can bind a temporary that dies at the first
+        // suspension point of the coroutine.
+        if (has_rvref || (has_const && has_ref)) {
+          out.push_back({u.path, sig[param].line, "coro-ref-param",
+                         std::string("coroutine '") + sig[fn.name].text + "' takes a " +
+                             (has_rvref ? "rvalue-reference" : "const-reference") +
+                             " parameter; it can bind a temporary that dies at the first "
+                             "suspension — take it by value (copied into the frame) or by "
+                             "mutable reference to Runtime-owned state"});
+        }
+        param = k + 1;
+      }
+    }
+  }
+}
+
+void rule_unawaited_task(const FileUnit& u, const Project& project,
+                         std::vector<Diagnostic>& out) {
+  // Applies everywhere (src, tests, bench): a dropped Task is a no-op bug in
+  // any tree.  [[nodiscard]] catches the plain call; this also catches the
+  // discard patterns warnings miss, with cross-file knowledge of which
+  // functions return Task.
+  const std::vector<Token>& sig = u.sig;
+  static const std::set<std::string> kConsumers = {"co_await", "co_return", "co_yield",
+                                                   "return",   "case",      "else"};
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (sig[i].kind != TokenKind::kIdentifier || project.task_functions.count(sig[i].text) == 0)
+      continue;
+    if (sig[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(sig, i + 1);
+    if (close == sig.size() || close + 1 >= sig.size() || sig[close + 1].text != ";") continue;
+    // Statement must be exactly `receiver-path name(...);` with no consumer:
+    // walk back to the statement boundary and require only path tokens.
+    bool bare = true;
+    for (std::size_t b = i; b-- > 0;) {
+      const std::string& t = sig[b].text;
+      if (t == ";" || t == "{" || t == "}") break;
+      const bool path_token = sig[b].kind == TokenKind::kIdentifier || t == "." || t == "->" ||
+                              t == "::";
+      if (!path_token || kConsumers.count(t) != 0) {
+        bare = false;
+        break;
+      }
+    }
+    if (bare) {
+      out.push_back({u.path, sig[i].line, "unawaited-task",
+                     "result of Task-returning '" + sig[i].text +
+                         "' discarded; a Task starts suspended, so without co_await this "
+                         "statement does nothing"});
+    }
+  }
+}
+
+}  // namespace
+
+void register_coroutine_rules(std::vector<Rule>& rules) {
+  rules.push_back({"schedule-ref-capture", "coroutine",
+                   "no reference/this captures in lambdas handed to Engine::schedule_*",
+                   &rule_schedule_ref_capture});
+  rules.push_back({"coro-ref-param", "coroutine",
+                   "no const&/&& parameters on Task/Process coroutines",
+                   &rule_coro_ref_param});
+  rules.push_back({"unawaited-task", "coroutine",
+                   "Task-returning call used as a bare statement (never co_awaited)",
+                   &rule_unawaited_task});
+}
+
+}  // namespace dlb::lint

@@ -1,0 +1,186 @@
+// Determinism rule family: the simulator's reproducibility claims (canonical
+// merge, bit-identical fault replay, byte-identical traces at any thread
+// count) require that nothing inside src/sim, src/core, src/net, src/fault
+// or src/obs reads wall-clock time, ambient randomness, the environment, or
+// any iteration/ordering source that varies between runs of the same seed.
+#include <map>
+#include <set>
+
+#include "dlblint/rules.hpp"
+
+namespace dlb::lint {
+namespace {
+
+bool member_access_before(const std::vector<Token>& sig, std::size_t i) {
+  return i > 0 && (sig[i - 1].text == "." || sig[i - 1].text == "->");
+}
+
+bool call_follows(const std::vector<Token>& sig, std::size_t i) {
+  return i + 1 < sig.size() && sig[i + 1].text == "(";
+}
+
+void rule_wall_clock(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!in_guarded_dirs(u.path)) return;
+  static const std::set<std::string> kClockTypes = {"system_clock", "steady_clock",
+                                                    "high_resolution_clock"};
+  static const std::set<std::string> kClockCalls = {"gettimeofday", "clock_gettime",
+                                                    "timespec_get", "localtime", "gmtime"};
+  for (std::size_t i = 0; i < u.sig.size(); ++i) {
+    const Token& t = u.sig[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kClockTypes.count(t.text) != 0) {
+      out.push_back({u.path, t.line, "wall-clock",
+                     "host clock '" + t.text +
+                         "' in a simulation path; all time must be virtual (sim::SimTime)"});
+    } else if (kClockCalls.count(t.text) != 0 && call_follows(u.sig, i)) {
+      out.push_back({u.path, t.line, "wall-clock",
+                     "host time call '" + t.text + "()' in a simulation path"});
+    } else if ((t.text == "time" || t.text == "clock") && call_follows(u.sig, i) &&
+               !member_access_before(u.sig, i) &&
+               (i == 0 || u.sig[i - 1].text == "::" || u.sig[i - 1].text == "(" ||
+                u.sig[i - 1].text == "," || u.sig[i - 1].text == "=" ||
+                u.sig[i - 1].text == ";" || u.sig[i - 1].text == "{")) {
+      out.push_back({u.path, t.line, "wall-clock",
+                     "C library '" + t.text + "()' in a simulation path"});
+    }
+  }
+}
+
+void rule_ambient_random(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!in_guarded_dirs(u.path)) return;
+  static const std::set<std::string> kBanned = {"random_device", "random_shuffle", "srand",
+                                                "drand48", "lrand48", "srand48"};
+  for (std::size_t i = 0; i < u.sig.size(); ++i) {
+    const Token& t = u.sig[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kBanned.count(t.text) != 0) {
+      out.push_back({u.path, t.line, "ambient-random",
+                     "'" + t.text +
+                         "' is an unseeded randomness source; use support::Rng with an "
+                         "explicit seed"});
+    } else if (t.text == "rand" && call_follows(u.sig, i) && !member_access_before(u.sig, i)) {
+      out.push_back({u.path, t.line, "ambient-random",
+                     "'rand()' draws from hidden global state; use support::Rng with an "
+                     "explicit seed"});
+    }
+  }
+}
+
+void rule_env_read(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!in_guarded_dirs(u.path)) return;
+  for (std::size_t i = 0; i < u.sig.size(); ++i) {
+    const Token& t = u.sig[i];
+    if (t.kind == TokenKind::kIdentifier && (t.text == "getenv" || t.text == "secure_getenv")) {
+      out.push_back({u.path, t.line, "env-read",
+                     "'" + t.text +
+                         "()' makes simulation behavior depend on the host environment; "
+                         "route configuration through explicit parameters"});
+    }
+  }
+}
+
+/// Names of variables declared with an unordered container type anywhere in
+/// the file (declaration = `unordered_map` `<` ... `>` [&*]* IDENT).
+std::set<std::string> unordered_variables(const std::vector<Token>& sig) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (sig[i].kind != TokenKind::kIdentifier ||
+        (sig[i].text != "unordered_map" && sig[i].text != "unordered_set" &&
+         sig[i].text != "unordered_multimap" && sig[i].text != "unordered_multiset"))
+      continue;
+    if (i + 1 >= sig.size() || sig[i + 1].text != "<") continue;
+    std::size_t j = match_forward(sig, i + 1);
+    if (j == sig.size()) continue;
+    ++j;
+    while (j < sig.size() && (sig[j].text == "&" || sig[j].text == "*" || sig[j].text == "const"))
+      ++j;
+    if (j < sig.size() && sig[j].kind == TokenKind::kIdentifier) names.insert(sig[j].text);
+  }
+  return names;
+}
+
+void rule_unordered_iter(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!in_guarded_dirs(u.path)) return;
+  const std::vector<Token>& sig = u.sig;
+  const std::set<std::string> vars = unordered_variables(sig);
+  if (vars.empty()) return;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    // Range-for over an unordered container: `for (` decl `:` VAR `)`.
+    if (sig[i].text == "for" && i + 1 < sig.size() && sig[i + 1].text == "(") {
+      const std::size_t close = match_forward(sig, i + 1);
+      for (std::size_t j = i + 2; j < close && j < sig.size(); ++j) {
+        if (sig[j].text == ":" && j + 1 < close && vars.count(sig[j + 1].text) != 0) {
+          out.push_back({u.path, sig[j + 1].line, "unordered-iter",
+                         "iteration over unordered container '" + sig[j + 1].text +
+                             "'; iteration order is hash-seed dependent — use a sorted "
+                             "container or sort a snapshot first"});
+        }
+      }
+    }
+    // Explicit iterator walk: VAR.begin() / VAR.cbegin().
+    if (sig[i].kind == TokenKind::kIdentifier && vars.count(sig[i].text) != 0 &&
+        i + 2 < sig.size() && (sig[i + 1].text == "." || sig[i + 1].text == "->") &&
+        (sig[i + 2].text == "begin" || sig[i + 2].text == "cbegin")) {
+      out.push_back({u.path, sig[i].line, "unordered-iter",
+                     "iterator walk over unordered container '" + sig[i].text +
+                         "'; iteration order is hash-seed dependent"});
+    }
+  }
+}
+
+/// First template argument of the list opening at `lt` (depth-1 tokens up to
+/// the first ',' or the closing '>').
+std::vector<std::size_t> first_template_arg(const std::vector<Token>& sig, std::size_t lt) {
+  std::vector<std::size_t> arg;
+  const std::size_t close = match_forward(sig, lt);
+  if (close == sig.size()) return arg;
+  int depth = 0;
+  for (std::size_t i = lt + 1; i < close; ++i) {
+    const std::string& t = sig[i].text;
+    if (t == "<" || t == "(" || t == "[") ++depth;
+    else if (t == ">" || t == ")" || t == "]") --depth;
+    else if (t == "," && depth == 0) break;
+    arg.push_back(i);
+  }
+  return arg;
+}
+
+void rule_pointer_keyed(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!in_guarded_dirs(u.path)) return;
+  static const std::set<std::string> kKeyed = {"map", "set", "multimap", "multiset",
+                                               "unordered_map", "unordered_set", "hash", "less",
+                                               "greater"};
+  const std::vector<Token>& sig = u.sig;
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (sig[i].kind != TokenKind::kIdentifier || kKeyed.count(sig[i].text) == 0) continue;
+    if (sig[i + 1].text != "<") continue;
+    const std::vector<std::size_t> arg = first_template_arg(sig, i + 1);
+    if (!arg.empty() && sig[arg.back()].text == "*") {
+      out.push_back({u.path, sig[i].line, "pointer-keyed",
+                     "'" + sig[i].text +
+                         "' keyed/ordered by pointer value; addresses vary run to run — key "
+                         "by a stable id instead"});
+    }
+  }
+}
+
+}  // namespace
+
+void register_determinism_rules(std::vector<Rule>& rules) {
+  rules.push_back({"wall-clock", "determinism",
+                   "host clocks (system_clock/steady_clock/time()) banned in sim paths",
+                   &rule_wall_clock});
+  rules.push_back({"ambient-random", "determinism",
+                   "unseeded randomness (rand/random_device) banned in sim paths",
+                   &rule_ambient_random});
+  rules.push_back({"env-read", "determinism",
+                   "environment reads (getenv) banned in sim paths", &rule_env_read});
+  rules.push_back({"unordered-iter", "determinism",
+                   "iteration over unordered containers banned in sim paths",
+                   &rule_unordered_iter});
+  rules.push_back({"pointer-keyed", "determinism",
+                   "maps/sets/comparators keyed by pointer value banned in sim paths",
+                   &rule_pointer_keyed});
+}
+
+}  // namespace dlb::lint
