@@ -1,0 +1,110 @@
+// Event-core scaling benchmark (google-benchmark): events/sec sustained at
+// 1k / 10k / 100k live processes, reference 4-ary heap vs calendar queue.
+//
+// The queue-level benches use the classic *hold model*: the queue is primed
+// to the target occupancy with offsets drawn from the same increment
+// distribution the measurement loop uses — so the measured state is
+// stationary from the first iteration, not a slowly-draining transient of
+// some unrelated priming distribution — then every operation pops the
+// minimum and pushes a replacement at a pseudo-random offset.  That is the
+// steady state of a discrete-event simulation with that many live
+// processes, and the regime where a heap pays O(log n) per event while the
+// calendar pays O(1) amortized.  Both implementations run in one binary; the engine-level
+// bench exercises whichever queue the build selected (Engine::
+// event_queue_name() is reported in the label via SetLabel).
+//
+// Regenerate the committed baseline with:
+//   ./build/bench/bench_engine_scale --benchmark_out=BENCH_engine_scale.json
+//     --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dlb::sim::CalendarEventQueue;
+using dlb::sim::Event;
+using dlb::sim::HeapEventQueue;
+using dlb::sim::SimTime;
+using dlb::support::Rng;
+
+/// Uniform hold: replacement offsets spread evenly, the textbook calendar
+/// sweet spot and the common shape of desynchronized workstation timers.
+template <typename Queue>
+void BM_QueueHoldUniform(benchmark::State& state) {
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  Queue q;
+  Rng rng(occupancy);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < occupancy; ++i) {
+    q.push(Event{rng.uniform_int(1, 2'000), seq++, i, false});
+  }
+  for (auto _ : state) {
+    const Event ev = q.front();
+    q.pop_front();
+    q.push(Event{ev.at + rng.uniform_int(1, 2'000), seq++, ev.payload, false});
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(Queue::kName);
+}
+
+/// Bursty hold: half the replacements land on the popped timestamp (the
+/// iexchange-style same-time resume burst), the rest jump far ahead.
+template <typename Queue>
+void BM_QueueHoldBursty(benchmark::State& state) {
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  Queue q;
+  Rng rng(occupancy + 1);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < occupancy; ++i) {
+    const SimTime delta = rng.uniform01() < 0.5 ? 0 : rng.uniform_int(10'000, 100'000);
+    q.push(Event{delta, seq++, i, false});
+  }
+  for (auto _ : state) {
+    const Event ev = q.front();
+    q.pop_front();
+    const SimTime delta = rng.uniform01() < 0.5 ? 0 : rng.uniform_int(10'000, 100'000);
+    q.push(Event{ev.at + delta, seq++, ev.payload, false});
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(Queue::kName);
+}
+
+dlb::sim::Process ticker(dlb::sim::Engine& engine, SimTime gap, int hops) {
+  for (int i = 0; i < hops; ++i) co_await engine.sleep_for(gap);
+}
+
+/// Whole-engine throughput with N live coroutine processes sleeping on
+/// desynchronized periods — resume scheduling, queue churn and coroutine
+/// switching included.  Uses the compile-time-selected queue.
+void BM_EngineLiveProcs(benchmark::State& state) {
+  const auto procs = static_cast<int>(state.range(0));
+  constexpr int kHops = 10;
+  for (auto _ : state) {
+    dlb::sim::Engine engine;
+    for (int k = 0; k < procs; ++k) {
+      engine.spawn(ticker(engine, 1'000 + 7 * (k % 997), kHops));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * kHops);
+  state.SetLabel(dlb::sim::Engine::event_queue_name());
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_QueueHoldUniform, HeapEventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_QueueHoldUniform, CalendarEventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_QueueHoldBursty, HeapEventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_QueueHoldBursty, CalendarEventQueue)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_EngineLiveProcs)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

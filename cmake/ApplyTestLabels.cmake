@@ -1,0 +1,32 @@
+# Applies a LABELS list to every test a gtest_discover_tests() run registered.
+#
+# CMake's bundled GoogleTestAddTests re-splits its PROPERTIES arguments on
+# expansion, so a multi-label list ("tier1;property") cannot be forwarded
+# through gtest_discover_tests directly — the semicolon is eaten no matter how
+# it is escaped.  Instead tests/CMakeLists.txt appends a tiny per-target stub
+# to the directory's TEST_INCLUDE_FILES *after* the discovery include; the
+# stub sets `_dlb_tests_file` (the generated <target>[1]_tests.cmake) and
+# `_dlb_labels`, then includes this script, which re-reads the discovery file
+# to recover the test names and attaches the labels.  Because this runs at
+# ctest time, it also labels tests whose discovery file predates a label
+# change — no relink required.
+if(EXISTS "${_dlb_tests_file}")
+  file(STRINGS "${_dlb_tests_file}" _dlb_lines REGEX "^add_test\\(")
+  foreach(_dlb_line IN LISTS _dlb_lines)
+    # Discovered test names are bracket-quoted — add_test([=[Suite.Case]=] ... —
+    # and value-parameterized names embed arbitrary "# GetParam() = (...)" text,
+    # so recover the name by locating the matching close guard rather than with
+    # a character class.  The discovery script picks the guard's '=' count so
+    # the close guard never occurs inside a test name.
+    if(_dlb_line MATCHES "^add_test\\((\\[=+\\[)")
+      set(_dlb_open "${CMAKE_MATCH_1}")
+      string(REPLACE "[" "]" _dlb_close "${_dlb_open}")
+      string(LENGTH "${_dlb_open}" _dlb_open_len)
+      math(EXPR _dlb_start "9 + ${_dlb_open_len}")  # len("add_test(") == 9
+      string(FIND "${_dlb_line}" "${_dlb_close}" _dlb_end)
+      math(EXPR _dlb_len "${_dlb_end} - ${_dlb_start}")
+      string(SUBSTRING "${_dlb_line}" ${_dlb_start} ${_dlb_len} _dlb_name)
+      set_tests_properties("${_dlb_name}" PROPERTIES LABELS "${_dlb_labels}")
+    endif()
+  endforeach()
+endif()

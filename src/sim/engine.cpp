@@ -20,12 +20,12 @@ Engine::~Engine() {
   }
   // Drop the callables still parked in undelivered events; the chunk vector
   // then releases the node memory itself.
-  for (const Event& ev : events_) {
+  events_.visit_all([](const Event& ev) {
     if (ev.is_call) {
       auto* node = reinterpret_cast<CallNode*>(ev.payload);
       node->drop(*node);
     }
-  }
+  });
 }
 
 Engine::CallNode* Engine::acquire_call_node() {
@@ -103,6 +103,11 @@ void Engine::dispatch(const Event& ev) {
 SimTime Engine::run() { return run_until(kTimeInfinity); }
 
 SimTime Engine::run_until(SimTime deadline) {
+  // The cancellation check happens when an event reaches the queue front —
+  // i.e. when it becomes the global (at, seq) minimum.  Under the calendar
+  // queue a whole day's events are already batched into the epoch heap by
+  // then; a flag set mid-epoch (even by an earlier event of the same batch)
+  // is still honoured, so both queue builds discard at the identical point.
   while (!events_.empty()) {
     const Event ev = events_.front();
     if (ev.is_call) {
@@ -110,7 +115,7 @@ SimTime Engine::run_until(SimTime deadline) {
       if (node->cancelled) {
         // Cancelled callback: discard without advancing virtual time or
         // counting an executed event.
-        remove_front_event();
+        events_.pop_front();
         node->drop(*node);
         release_call_node(node);
         continue;
@@ -120,7 +125,7 @@ SimTime Engine::run_until(SimTime deadline) {
       now_ = deadline;
       return now_;
     }
-    remove_front_event();
+    events_.pop_front();
     now_ = ev.at;
     ++events_executed_;
     dispatch(ev);

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 
@@ -27,13 +28,19 @@ namespace dlb::sim {
 /// built around it) is single-run — `now() != 0 || events_executed() != 0`
 /// marks it consumed, which core::Runtime checks at construction.
 ///
-/// Hot-path representation: the queue is a 4-ary heap of 32-byte POD event
-/// records.  A coroutine resume (the dominant event kind — every sleep,
-/// mailbox delivery and spawn) stores the bare handle in the record; an
-/// arbitrary `schedule_at` callable lives in a per-engine pooled CallNode
-/// with a 64-byte inline buffer (larger captures spill to the heap, once,
-/// inside the node).  Nodes are recycled through a free list, so the steady
-/// state of a run performs no allocation per event.
+/// Hot-path representation: the queue is an EventQueueLike container of
+/// 32-byte POD event records — by default the calendar queue (O(1) amortized
+/// push/pop at high occupancy, same-day events drained as one batched
+/// epoch), or the reference 4-ary heap when configured with
+/// -DDLB_EVENT_QUEUE=heap.  Both implementations pop the identical strict
+/// (at, seq) order, so the selection cannot change any simulated outcome
+/// (tests/sim_queue_differential_test.cpp holds them to that).  A coroutine
+/// resume (the dominant event kind — every sleep, mailbox delivery and
+/// spawn) stores the bare handle in the record; an arbitrary `schedule_at`
+/// callable lives in a per-engine pooled CallNode with a 64-byte inline
+/// buffer (larger captures spill to the heap, once, inside the node).  Nodes
+/// are recycled through a free list, so the steady state of a run performs
+/// no allocation per event.
 class Engine {
  public:
   Engine() = default;
@@ -188,6 +195,11 @@ class Engine {
   [[nodiscard]] std::size_t events_executed() const noexcept { return events_executed_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
 
+  /// Name of the compile-time-selected event queue ("calendar" or "heap").
+  [[nodiscard]] static constexpr const char* event_queue_name() noexcept {
+    return EngineEventQueue::kName;
+  }
+
   /// Current number of queued events (observability: sampled as the
   /// "heap depth" counter track of a Chrome trace).
   [[nodiscard]] std::size_t queue_depth() const noexcept { return events_.size(); }
@@ -208,66 +220,21 @@ class Engine {
     bool cancelled;     // set by Engine::cancel; record skipped at heap root
   };
 
-  /// 32-byte POD heap record.  `payload` is either a CallNode* or the
-  /// address of a coroutine handle, discriminated by `is_call`.
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    std::uintptr_t payload;
-    bool is_call;
-  };
-
-  static bool earlier(const Event& a, const Event& b) noexcept {
-    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
-  }
-
   [[nodiscard]] CallNode* acquire_call_node();
   void release_call_node(CallNode* node) noexcept;
   void push_call_event(SimTime at, CallNode* node) noexcept;
 
-  // 4-ary heap on (at, seq): shallower than a binary heap and the four
-  // children of a node share a cache line of 32-byte records, so sift-down
-  // — the cost center of a pop-heavy discrete-event loop — touches fewer
-  // lines.  Inline: sits directly in every awaiter's suspend path.
+  // Inline: sits directly in every awaiter's suspend path.
   void push_event(Event ev) noexcept {
-    events_.push_back(ev);
+    events_.push(ev);
     if (events_.size() > peak_queue_depth_) peak_queue_depth_ = events_.size();
-    std::size_t i = events_.size() - 1;
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 4;
-      if (!earlier(events_[i], events_[parent])) break;
-      std::swap(events_[i], events_[parent]);
-      i = parent;
-    }
-  }
-
-  /// Removes the root (already read by the caller) and restores the heap.
-  void remove_front_event() noexcept {
-    const Event last = events_.back();
-    events_.pop_back();
-    const std::size_t n = events_.size();
-    if (n == 0) return;
-    std::size_t i = 0;  // sift the former tail down from the root hole
-    for (;;) {
-      const std::size_t first = 4 * i + 1;
-      if (first >= n) break;
-      const std::size_t end = first + 4 < n ? first + 4 : n;
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < end; ++c) {
-        if (earlier(events_[c], events_[best])) best = c;
-      }
-      if (!earlier(events_[best], last)) break;
-      events_[i] = events_[best];
-      i = best;
-    }
-    events_[i] = last;
   }
 
   void dispatch(const Event& ev);
   static void process_done_hook(void* engine, Process::Handle h) noexcept;
   void on_process_done(Process::Handle h) noexcept;
 
-  std::vector<Event> events_;  // 4-ary min-heap on (at, seq)
+  EngineEventQueue events_;  // strict (at, seq) pop order
   std::vector<std::unique_ptr<CallNode[]>> call_chunks_;
   CallNode* free_calls_ = nullptr;
   Process::promise_type* live_head_ = nullptr;  // intrusive list of root frames

@@ -1,0 +1,225 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace dlb::sim {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+// Year-size ceiling: past ~16k buckets the header array and its active tail
+// cache lines stop fitting in L2 and every push costs two misses — beyond
+// this point extra days buy less than multi-year aliasing costs (extraction
+// already filters alien years per day window).
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 14;
+constexpr SimTime kInitialWidth = 1024;          // ~1 us days until the first re-tune
+constexpr SimTime kMaxWidth = SimTime{1} << 40;  // ~18 min days at most
+constexpr std::uint64_t kHorizonYears = 2;       // calendar span before the overflow rung
+// An epoch this much larger than the tuned width predicts means the live
+// distribution has drifted since the last rebuild (occupancy-driven resizes
+// cannot see drift at constant size): schedule a width re-tune.
+constexpr std::size_t kEpochRetuneThreshold = 256;
+
+/// Last virtual instant the calendar band covers: the end of the day grid
+/// spanning `kHorizonYears` years from the day containing `base`, saturated
+/// to kTimeInfinity.  Always the final instant of a day (the span is a
+/// multiple of the day width), so an extracted epoch can never reach past
+/// the horizon while events sit in the overflow rung.
+SimTime last_covered(SimTime base, SimTime width, std::size_t nbuckets) noexcept {
+  const auto w = static_cast<std::uint64_t>(width);
+  const std::uint64_t day_start = (static_cast<std::uint64_t>(base) / w) * w;
+  const std::uint64_t span = w * static_cast<std::uint64_t>(nbuckets) * kHorizonYears;
+  const auto inf = static_cast<std::uint64_t>(kTimeInfinity);
+  if (span > inf - day_start) return kTimeInfinity;
+  return static_cast<SimTime>(day_start + span - 1);
+}
+
+}  // namespace
+
+CalendarEventQueue::CalendarEventQueue()
+    : buckets_(kMinBuckets),
+      width_(kInitialWidth),
+      shift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(kInitialWidth)))),
+      horizon_(last_covered(0, kInitialWidth, kMinBuckets)) {}
+
+void CalendarEventQueue::push(Event ev) noexcept {
+  ++size_;
+  if (ev.at <= epoch_end_) {
+    // Inside the current epoch: goes straight to the epoch heap, where the
+    // (at, seq) order against the already-extracted events is maintained.
+    detail::heap4_push(front_, ev);
+    return;
+  }
+  route(ev);
+  // Band occupancy doubled since the last layout: re-derive the day width
+  // and bucket count for the new density.  The overflow rung counts too —
+  // a monotone-advancing push stream parks everything past the horizon
+  // there, and growth must not stall just because the calendar band is full
+  // only up to a stale horizon.
+  if (cal_count_ + overflow_.size() > grow_at_) rebuild();
+}
+
+void CalendarEventQueue::route(Event ev) noexcept {
+  if (ev.at > horizon_) {
+    overflow_.push_back(ev);
+  } else {
+    buckets_[day_of(ev.at) & (buckets_.size() - 1)].push_back(ev);
+    ++cal_count_;
+  }
+}
+
+const Event& CalendarEventQueue::front() noexcept {
+  if (front_.empty()) form_epoch();
+  return front_.front();
+}
+
+void CalendarEventQueue::pop_front() noexcept {
+  if (front_.empty()) form_epoch();
+  detail::heap4_pop(front_);
+  --size_;
+  ++pops_since_rebuild_;
+}
+
+bool CalendarEventQueue::extract_day(std::uint64_t day) noexcept {
+  std::vector<Event>& bucket = buckets_[day & (buckets_.size() - 1)];
+  const std::uint64_t day_end = (day + 1) << shift_;  // exclusive
+  std::size_t extracted = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const Event ev = bucket[i];
+    // The bucket may hold events of later years hashed to the same day slot;
+    // only this day's window moves to the epoch heap.
+    if (static_cast<std::uint64_t>(ev.at) < day_end) {
+      detail::heap4_push(front_, ev);
+      ++extracted;
+    } else {
+      bucket[kept++] = ev;
+    }
+  }
+  if (extracted == 0) return false;
+  bucket.resize(kept);
+  cal_count_ -= extracted;
+  const auto inf = static_cast<std::uint64_t>(kTimeInfinity);
+  epoch_end_ = day_end - 1 >= inf ? kTimeInfinity : static_cast<SimTime>(day_end - 1);
+  // Epochs far past the tuned density mean the distribution drifted since
+  // the last rebuild: re-tune on the next epoch boundary.  Rate-limited to
+  // one rebuild per full turnover of the queue, and a 1 ns day cannot get
+  // thinner, so same-timestamp bursts never thrash.
+  if (extracted > kEpochRetuneThreshold && width_ > 1 && pops_since_rebuild_ > size_) {
+    retune_pending_ = true;
+  }
+  return true;
+}
+
+void CalendarEventQueue::form_epoch() noexcept {
+  // Pre: front_ empty, size_ > 0 — so the calendar or the overflow rung
+  // holds the next event.
+  if (retune_pending_) {
+    retune_pending_ = false;
+    rebuild();
+  } else if (cal_count_ == 0) {
+    // Calendar band drained: pull the overflow rung into a calendar re-tuned
+    // around the earliest far-future event (which always lands in a bucket,
+    // because the new horizon spans at least one day past it).
+    rebuild();
+  } else if (cal_count_ < shrink_at_ && overflow_.size() < 4 * cal_count_) {
+    // Calendar occupancy halved since the last layout: re-derive width for
+    // the thinner band so epochs stay small and day scans stay short.  Not
+    // when the overflow rung dwarfs the band — each rebuild re-routes the
+    // whole rung, and a huge rung behind a small near band would turn every
+    // halving into an O(rung) re-shuffle for no layout gain.
+    rebuild();
+  }
+  const std::size_t n = buckets_.size();
+  // Every calendar event has at > epoch_end_: scan day windows circularly
+  // from the day containing epoch_end_ + 1, at most one full year.
+  std::uint64_t day = static_cast<std::uint64_t>(epoch_end_ + 1) >> shift_;
+  for (std::size_t step = 0; step < n; ++step, ++day) {
+    if (extract_day(day)) return;
+  }
+  // A whole year scanned empty: jump straight to the day of the earliest
+  // calendar event (deterministic: a pure min over queue contents) instead
+  // of spinning year by year through a sparse calendar.
+  SimTime min_at = kTimeInfinity;
+  for (const std::vector<Event>& bucket : buckets_) {
+    for (const Event& ev : bucket) min_at = std::min(min_at, ev.at);
+  }
+  extract_day(static_cast<std::uint64_t>(min_at) / static_cast<std::uint64_t>(width_));
+}
+
+void CalendarEventQueue::rebuild() noexcept {
+  scratch_.clear();
+  for (std::vector<Event>& bucket : buckets_) {
+    scratch_.insert(scratch_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  scratch_.insert(scratch_.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  cal_count_ = 0;
+  width_ = tune_width();
+  shift_ = static_cast<std::uint32_t>(std::countr_zero(static_cast<std::uint64_t>(width_)));
+  SimTime base = kTimeInfinity;
+  SimTime top = 0;
+  for (const Event& ev : scratch_) {
+    base = std::min(base, ev.at);
+    top = std::max(top, ev.at);
+  }
+  if (scratch_.empty()) base = 0;
+  // One year spans the band's actual day spread: enough days that events of
+  // the same year rarely collide, but no more — an occupancy-proportional
+  // bucket count would blow the header array past the cache for narrow
+  // tie-dense bands, putting two misses on every push.  A far-future tail
+  // must not inflate the year either (a heartbeat at +10^12 ns would demand
+  // a billion days), so the day count is also bounded by 4x occupancy; the
+  // tail beyond the resulting horizon belongs on the overflow rung.
+  std::uint64_t days = (static_cast<std::uint64_t>(top - base) >> shift_) + 1;
+  const std::uint64_t cap = 4 * static_cast<std::uint64_t>(scratch_.size());
+  if (days > cap) days = cap;
+  if (days < kMinBuckets) days = kMinBuckets;
+  std::size_t nbuckets = static_cast<std::size_t>(std::bit_ceil(days));
+  if (nbuckets > kMaxBuckets) nbuckets = kMaxBuckets;
+  buckets_.resize(nbuckets);
+  horizon_ = last_covered(base, width_, nbuckets);
+  for (const Event& ev : scratch_) route(ev);
+  // The next re-layout points: band occupancy doubled (push side) or the
+  // calendar part halved (epoch side) relative to this layout.
+  grow_at_ = scratch_.size() < 16 ? 32 : 2 * scratch_.size();
+  shrink_at_ = cal_count_ / 2;
+  pops_since_rebuild_ = 0;
+  retune_pending_ = false;
+  scratch_.clear();
+}
+
+SimTime CalendarEventQueue::tune_width() noexcept {
+  // Deterministic stride sample of the band being redistributed (scratch_
+  // order is itself a pure function of queue content).  Adjacent sorted
+  // samples sit ~stride events apart, so their median positive gap is the
+  // stride times the true inter-event gap at median density; dividing the
+  // stride back out and doubling gives a day that holds a couple of events.
+  // The result rounds up to a power of two so the day hash on every push is
+  // a shift rather than a 64-bit division.
+  constexpr std::size_t kSample = 64;
+  const std::size_t count = scratch_.size();
+  if (count < 2) return width_;
+  SimTime sample[kSample];
+  const std::size_t k = count < kSample ? count : kSample;
+  const std::size_t stride = count / k;
+  for (std::size_t i = 0; i < k; ++i) sample[i] = scratch_[i * stride].at;
+  std::sort(sample, sample + k);
+  SimTime gaps[kSample];
+  std::size_t g = 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    if (sample[i] > sample[i - 1]) gaps[g++] = sample[i] - sample[i - 1];
+  }
+  if (g == 0) return 1;  // one same-timestamp burst: a single one-ns day holds it
+  std::nth_element(gaps, gaps + g / 2, gaps + g);
+  const auto median = static_cast<std::uint64_t>(gaps[g / 2]);
+  std::uint64_t w = 2 * median / stride;
+  if (w < 1) w = 1;
+  if (w > static_cast<std::uint64_t>(kMaxWidth)) w = static_cast<std::uint64_t>(kMaxWidth);
+  return static_cast<SimTime>(std::bit_ceil(w));  // kMaxWidth is itself a power of two
+}
+
+}  // namespace dlb::sim

@@ -15,6 +15,7 @@
 #include "exp/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
@@ -112,6 +113,40 @@ TEST(ExpDeterminism, RepeatedRunsAreIdempotent) {
   options.threads = 2;
   const Runner runner(options);
   EXPECT_EQ(csv_of(runner.run(grid)), csv_of(runner.run(grid)));
+}
+
+TEST(ExpDeterminism, Figure5BytesIdenticalAcrossThreadCountsUnderActiveQueue) {
+  // The calendar-queue leg of the determinism contract: the paper's Fig. 5
+  // grid — the byte-identity anchor of the whole repo — must merge to the
+  // same CSV at 1, 2 and 8 runner threads under the compile-time-selected
+  // event queue (calendar by default; the heap build runs the same leg, and
+  // CI additionally cmp's the two builds' dlb_sweep stdout against each
+  // other).
+  const char* argv[] = {"exp_determinism_test", "--figure=5", "--seeds=2"};
+  const dlb::support::Cli cli(3, argv);
+  const auto grid = dlb::exp::parse_grid(cli);
+
+  RunnerOptions one;
+  one.threads = 1;
+  const auto csv1 = csv_of(Runner(one).run(grid));
+  ASSERT_FALSE(csv1.empty());
+  for (const int threads : {2, 8}) {
+    RunnerOptions more;
+    more.threads = threads;
+    EXPECT_EQ(csv1, csv_of(Runner(more).run(grid)))
+        << "fig5 CSV diverged at " << threads << " threads under the '"
+        << dlb::sim::Engine::event_queue_name() << "' event queue";
+  }
+}
+
+TEST(ExpDeterminism, ActiveEventQueueIsTheConfiguredOne) {
+  // Pins the CMake plumbing: DLB_EVENT_QUEUE=heap must actually rebuild the
+  // engine on the reference heap, and the default must be the calendar.
+#if defined(DLB_EVENT_QUEUE_HEAP)
+  EXPECT_STREQ(dlb::sim::Engine::event_queue_name(), "heap");
+#else
+  EXPECT_STREQ(dlb::sim::Engine::event_queue_name(), "calendar");
+#endif
 }
 
 dlb::sim::Process churn_process(dlb::sim::Engine& engine, int hops) {

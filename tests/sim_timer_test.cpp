@@ -58,6 +58,52 @@ TEST(EngineTimer, IndependentTimersCancelIndependently) {
   EXPECT_EQ(engine.now(), 300);
 }
 
+TEST(EngineTimer, CancelAfterPopEpoch) {
+  // Batched-epoch ordering: under the calendar queue, events at 100 and 105
+  // share a day, so the timer's record is already extracted into the epoch
+  // front when the cancelling callback runs.  The cancellation flag must
+  // still be honoured at the record's own pop point — the timer never fires
+  // and the clock never advances to its deadline.
+  Engine engine;
+  bool fired = false;
+  auto timer = engine.schedule_cancellable_at(105, [&] { fired = true; });
+  engine.schedule_at(100, [&] { engine.cancel(timer); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(EngineTimer, CancelDuringBucketDrain) {
+  // Same-timestamp burst: three events at t=100 drain as one batch.  The
+  // first cancels the second; the third must still run, and the cancelled
+  // record in the middle of the drained batch must be skipped in place.
+  Engine engine;
+  std::vector<int> fired;
+  Engine::Timer doomed;
+  engine.schedule_at(100, [&] {
+    fired.push_back(1);
+    engine.cancel(doomed);
+  });
+  doomed = engine.schedule_cancellable_at(100, [&] { fired.push_back(2); });
+  engine.schedule_at(100, [&] { fired.push_back(3); });
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(EngineTimer, CancelArrivingAfterSameTimestampTimerIsTooLate) {
+  // (at, seq) order pins the race: the timer was scheduled before the
+  // canceller at the same timestamp, so it pops first and fires — in both
+  // queue builds.
+  Engine engine;
+  bool fired = false;
+  auto timer = engine.schedule_cancellable_at(100, [&] { fired = true; });
+  engine.schedule_at(100, [&] { engine.cancel(timer); });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.now(), 100);
+}
+
 Process sleeper(Engine& engine, CancellableSleep& sleep, SimTime duration,
                 std::vector<bool>& results) {
   (void)engine;

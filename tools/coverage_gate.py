@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Line-coverage floor gate over `llvm-cov export` JSON.
+
+CI runs the tier-1 suite under clang's source-based coverage
+(-fprofile-instr-generate -fcoverage-mapping), merges the .profraw shards
+with llvm-profdata, exports one JSON report across every test binary, and
+then calls this script to enforce a per-directory line-coverage floor:
+
+    python3 tools/coverage_gate.py coverage.json --prefix=src/sim/ --min-lines=85
+
+Exit status: 0 when the aggregate line coverage of every file whose path
+contains --prefix meets the floor, 1 when it does not, 2 on bad input.  The
+per-file table goes to stdout either way, so the uploaded artifact doubles
+as the ratchet record for later PRs.
+"""
+
+import json
+import sys
+
+
+def parse_args(argv):
+    path = None
+    prefix = "src/sim/"
+    min_lines = 85.0
+    for arg in argv:
+        if arg.startswith("--prefix="):
+            prefix = arg.split("=", 1)[1]
+        elif arg.startswith("--min-lines="):
+            min_lines = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            raise ValueError(f"unknown flag {arg!r}")
+        elif path is None:
+            path = arg
+        else:
+            raise ValueError(f"unexpected argument {arg!r}")
+    if path is None:
+        raise ValueError("usage: coverage_gate.py <llvm-cov-export.json> "
+                         "[--prefix=src/sim/] [--min-lines=85]")
+    return path, prefix, min_lines
+
+
+def main(argv):
+    try:
+        path, prefix, min_lines = parse_args(argv)
+    except ValueError as err:
+        print(f"coverage_gate: {err}", file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        exports = report["data"]
+    except (OSError, ValueError, KeyError) as err:
+        print(f"coverage_gate: cannot read llvm-cov export {path!r}: {err}",
+              file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for export in exports:
+        for entry in export.get("files", []):
+            filename = entry.get("filename", "")
+            if prefix not in filename:
+                continue
+            lines = entry["summary"]["lines"]
+            count, covered = lines["count"], lines["covered"]
+            if count == 0:
+                continue
+            total_lines += count
+            total_covered += covered
+            rows.append((filename, covered, count, 100.0 * covered / count))
+
+    if total_lines == 0:
+        print(f"coverage_gate: no instrumented lines under {prefix!r} — "
+              "wrong prefix or an empty export", file=sys.stderr)
+        return 2
+
+    rows.sort()
+    width = max(len(name) for name, *_ in rows)
+    for name, covered, count, pct in rows:
+        print(f"{name:<{width}}  {covered:>6}/{count:<6}  {pct:6.2f}%")
+    aggregate = 100.0 * total_covered / total_lines
+    print(f"{'TOTAL ' + prefix:<{width}}  {total_covered:>6}/{total_lines:<6}  "
+          f"{aggregate:6.2f}%  (floor {min_lines:.2f}%)")
+
+    if aggregate < min_lines:
+        print(f"coverage_gate: FAIL — {prefix} line coverage {aggregate:.2f}% "
+              f"is below the {min_lines:.2f}% floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
