@@ -1,0 +1,121 @@
+// Cluster weak-scaling benchmark (google-benchmark): wall time and events/sec
+// for a full Runtime run on the switched topology at P in {1k, 4k, 16k, 64k}
+// with engine shards in {1, 2, 4, 8}.
+//
+// Weak scaling: every processor owns the same work (kItersPerProc stencil
+// iterations of kOpsPerIteration basic ops, each exchanging kIntrinsicBytes
+// with the ring neighbour), so total simulated work grows linearly with P
+// and the interesting number is simulated-events-per-wall-second.  The ring
+// sends make the network a real participant: most hops stay inside a rack
+// segment, and the hop across each rack boundary rides the crossbar — the
+// cross-shard ingress path — so both switched code paths are hot.
+//
+// The strategy is NoDLB on purpose.  The paper's GCDLB protocol multicasts
+// every profile to all active group members, so one sync round costs O(P^2)
+// control messages — at P = 64k that is ~4 x 10^9 frames, days of host time,
+// and it would measure the protocol, not the engine.  NoDLB keeps the event
+// population proportional to P so the four P points are comparable.
+//
+// Sharding never changes simulated results (the windowed engine is
+// deterministic by construction), only wall time.  On a single-CPU host the
+// shard windows are serialized, so wall time cannot improve; the benchmark
+// therefore also reports `speedup_bound`, the deterministic parallel-work
+// ratio total_events / max_over_shards(shard_events): the speedup an ideal
+// S-way host could reach for this exact event partition.  It is a property
+// of the partition, not of the host, and is bit-stable across machines.
+//
+// Regenerate the committed baseline with:
+//   ./build-release/bench/bench_cluster_scale
+//     --benchmark_out=BENCH_cluster_scale.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+#include "apps/synthetic.hpp"
+#include "cluster/cluster.hpp"
+#include "core/runtime.hpp"
+#include "core/types.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+// Per-processor workload (weak scaling: constant per P).  Matches the
+// dlb_sweep --figure=scale defaults except iters-per-proc, lowered so the
+// P = 64k x 4 shard-count grid finishes in a CI-friendly budget.
+constexpr int kItersPerProc = 8;
+constexpr double kOpsPerIteration = 50e3;
+constexpr double kIntrinsicBytes = 256.0;
+constexpr int kRackSize = 32;
+
+void BM_ClusterScaleSwitched(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+
+  std::size_t total_events = 0;
+  std::size_t max_shard_events = 0;
+  int shards_used = 1;
+  double virtual_seconds = 0.0;
+
+  for (auto _ : state) {
+    dlb::cluster::ClusterParams params;
+    params.procs = procs;
+    params.topology = dlb::net::TopologyKind::kSwitched;
+    params.switched.rack_size = kRackSize;
+    params.engine_shards = shards;
+    params.seed = 1;
+
+    dlb::core::DlbConfig config;
+    config.strategy = dlb::core::Strategy::kNoDlb;
+
+    const auto app =
+        dlb::apps::make_stencil(static_cast<std::int64_t>(kItersPerProc) * procs,
+                                kOpsPerIteration, /*bytes_per_iteration=*/0.0, kIntrinsicBytes);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    dlb::cluster::Cluster cluster(params);
+    dlb::core::Runtime runtime(cluster, app, config);
+    const auto result = runtime.run();
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+    state.SetIterationTime(wall.count());
+
+    const auto& engine = cluster.engine();
+    total_events = engine.events_executed();
+    shards_used = engine.shards();
+    max_shard_events = 0;
+    for (int s = 0; s < shards_used; ++s) {
+      max_shard_events = std::max(max_shard_events, engine.shard_events_executed(s));
+    }
+    virtual_seconds = result.exec_seconds;
+    benchmark::DoNotOptimize(result);
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_events) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["total_events"] =
+      benchmark::Counter(static_cast<double>(total_events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_events) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  // Deterministic ideal-host speedup for this partition (see header comment).
+  state.counters["speedup_bound"] =
+      max_shard_events > 0
+          ? benchmark::Counter(static_cast<double>(total_events) /
+                               static_cast<double>(max_shard_events))
+          : benchmark::Counter(1.0);
+  state.counters["shards"] = benchmark::Counter(static_cast<double>(shards_used));
+  state.counters["virtual_exec_seconds"] = benchmark::Counter(virtual_seconds);
+  state.SetLabel("switched/nodlb");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClusterScaleSwitched)
+    ->ArgsProduct({{1024, 4096, 16384, 65536}, {1, 2, 4, 8}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "support/rng.hpp"
@@ -15,6 +16,20 @@ Cluster::Cluster(ClusterParams params)
   }
   if (params_.network_segments < 1 || params_.network_segments > params_.procs) {
     throw std::invalid_argument("Cluster: network_segments out of range");
+  }
+  if (params_.engine_shards < 1) {
+    throw std::invalid_argument("Cluster: engine_shards < 1");
+  }
+  if (params_.topology == net::TopologyKind::kSwitched) {
+    if (params_.network_segments != 1) {
+      throw std::invalid_argument("Cluster: switched topology excludes network_segments");
+    }
+    const int racks = net::rack_count(params_.procs, params_.switched.rack_size);
+    // One shard cannot own less than a rack; a shared topology never shards
+    // at all (see ClusterParams::engine_shards).
+    const int shards = std::min(params_.engine_shards, racks);
+    engine_.configure_shards(shards, params_.switched.cut_through);
+    network_.set_switched(params_.procs, params_.switched, shards);
   }
   if (params_.network_segments > 1) {
     std::vector<int> segment_of(static_cast<std::size_t>(params_.procs));

@@ -39,6 +39,18 @@ struct ClusterParams {
   /// the paper's single shared LAN.
   int network_segments = 1;
   sim::SimTime bridge_latency = sim::from_micros(500.0);
+  /// Network topology.  kShared (default) is the paper's single broadcast
+  /// domain (optionally bridged via network_segments); kSwitched is racks of
+  /// shared segments under a crossbar core, and excludes network_segments.
+  net::TopologyKind topology = net::TopologyKind::kShared;
+  net::SwitchedParams switched;
+  /// Engine shards for intra-cell parallelism.  Only the switched topology
+  /// can shard (its cut-through latency is the conservative lookahead);
+  /// requesting shards on a shared cluster silently runs unsharded — a
+  /// single broadcast domain has zero cross-partition lookahead, so there is
+  /// nothing to overlap.  Clamped to the rack count.  The shard count never
+  /// changes simulated results, only wall-clock time.
+  int engine_shards = 1;
 };
 
 /// A network of workstations: one engine, one shared Ethernet, P stations.
@@ -56,6 +68,10 @@ class Cluster {
   [[nodiscard]] int size() const noexcept { return static_cast<int>(stations_.size()); }
   [[nodiscard]] Workstation& station(int i) { return *stations_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }
+
+  /// Engine shard owning station `i` (always 0 on a shared topology or a
+  /// single-shard engine).  Runtime wraps each spawn in a ShardScope on this.
+  [[nodiscard]] int shard_of(int i) const { return network_.shard_of(i); }
 
   /// Sum of the relative speeds (used for proportional splits).
   [[nodiscard]] double total_speed() const noexcept;

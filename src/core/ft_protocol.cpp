@@ -328,6 +328,7 @@ sim::Task<bool> peek_profiles(FtState& ft, int self, FtSlaveState& st) {
       }
       continue;
     }
+    // dlblint:allow(shard-isolation) re-queue into this proc's own mailbox: self to self
     me.mailbox().deliver(std::move(*m));  // put it back for the collection
     co_return true;
   }

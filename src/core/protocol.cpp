@@ -69,6 +69,12 @@ void record_event(LoopContext& ctx, int group, int round, int initiator, const D
   e.iterations_moved = d.moved ? d.to_move : 0;
   e.transfer_messages = static_cast<int>(d.transfers.size());
   e.redistributed = d.moved;
+  if (ctx.sharded) {
+    // Sharded engine: stage per group (single writer per inner vector);
+    // Runtime merges canonically at loop end.
+    ctx.events_by_group[static_cast<std::size_t>(group)].push_back(e);
+    return;
+  }
   ctx.stats.events.push_back(e);
 }
 
@@ -253,6 +259,8 @@ LoopContext LoopContext::make(const LoopDescriptor& loop, const DlbConfig& confi
   }
   ctx.executed.assign(static_cast<std::size_t>(procs), 0);
   ctx.finished_at.assign(static_cast<std::size_t>(procs), 0);
+  ctx.sharded = cluster.engine().is_sharded();
+  if (ctx.sharded) ctx.events_by_group.resize(ctx.groups.size());
   ctx.stats.loop_name = loop.name;
   ctx.stats.start_seconds = sim::to_seconds(cluster.engine().now());
   return ctx;

@@ -74,6 +74,14 @@ struct LoopContext {
   std::vector<sim::SimTime> finished_at;
 
   LoopRunStats stats;
+  /// True when the cluster's engine is sharded.  Sync events are then staged
+  /// per group — exactly one actor records a given group's round, so each
+  /// inner vector has a single writer — and merged canonically (by time,
+  /// group, round) into `stats.events` at loop end; pushing straight to the
+  /// shared vector would race across shard workers.  Unsharded runs keep the
+  /// direct push, byte-identical to before sharding existed.
+  bool sharded = false;
+  std::vector<std::vector<SyncEvent>> events_by_group;
   /// Optional activity recorder (owned by the Runtime).
   Trace* trace = nullptr;
   /// Optional observability recorder (owned by the Runtime); null unless

@@ -23,6 +23,14 @@ Runtime::Runtime(cluster::Cluster& cluster, AppDescriptor app, DlbConfig config)
         "Runtime: cluster already consumed (its engine has executed events); a Cluster/Engine "
         "pair is single-run — build a fresh Cluster for every run");
   }
+  if (cluster_.engine().is_sharded() &&
+      (config_.observe || config_.record_trace || config_.faults.armed())) {
+    // These layers sample global engine state mid-run or inject cross-station
+    // actions outside the ingress channel; they force the unsharded engine.
+    throw std::invalid_argument(
+        "Runtime: observability, tracing and fault injection require an unsharded engine "
+        "(run with --shards=1)");
+  }
   if (config_.record_trace) trace_ = std::make_shared<Trace>();
   if (config_.observe) {
     obs_ = std::make_shared<obs::Recorder>();
@@ -58,13 +66,40 @@ LoopRunStats Runtime::execute_loop(const LoopDescriptor& loop, int loop_index) {
   ctx.obs = obs_.get();
   auto& engine = cluster_.engine();
 
+  // Each spawn is wrapped in a ShardScope pinning the process (and its
+  // coroutine frames) to its station's shard; a no-op on unsharded engines.
   if (config_.strategy == Strategy::kNoDlb) {
-    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(static_slave(ctx, p));
+    for (int p = 0; p < cluster_.size(); ++p) {
+      sim::Engine::ShardScope scope(engine, cluster_.shard_of(p));
+      engine.spawn(static_slave(ctx, p));
+    }
   } else {
-    if (ctx.centralized) engine.spawn(central_balancer(ctx));
-    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(dlb_slave(ctx, p));
+    if (ctx.centralized) {
+      sim::Engine::ShardScope scope(engine, cluster_.shard_of(ctx.balancer_proc));
+      engine.spawn(central_balancer(ctx));
+    }
+    for (int p = 0; p < cluster_.size(); ++p) {
+      sim::Engine::ShardScope scope(engine, cluster_.shard_of(p));
+      engine.spawn(dlb_slave(ctx, p));
+    }
   }
   engine.run();
+
+  if (ctx.sharded) {
+    // Merge the per-group staged sync events into the canonical order:
+    // time, then group, then round.  The key is unique (a group records at
+    // most one event per round), so the result is independent of the shard
+    // count and of which worker ran which group.
+    auto& events = ctx.stats.events;
+    for (auto& staged : ctx.events_by_group) {
+      events.insert(events.end(), staged.begin(), staged.end());
+    }
+    std::stable_sort(events.begin(), events.end(), [](const SyncEvent& a, const SyncEvent& b) {
+      if (a.at_seconds != b.at_seconds) return a.at_seconds < b.at_seconds;
+      if (a.group != b.group) return a.group < b.group;
+      return a.round < b.round;
+    });
+  }
 
   LoopRunStats stats = std::move(ctx.stats);
   stats.finish_seconds = sim::to_seconds(engine.now());
@@ -97,8 +132,12 @@ void Runtime::execute_phase(const SequentialPhase& phase, const LoopRunStats& pr
   if (injector_ != nullptr) {
     run_ft_phase(cluster_, phase, gather_bytes, *injector_);
   } else {
-    engine.spawn(phase_master(cluster_, phase, gather_bytes));
+    {
+      sim::Engine::ShardScope scope(engine, cluster_.shard_of(0));
+      engine.spawn(phase_master(cluster_, phase, gather_bytes));
+    }
     for (int p = 1; p < cluster_.size(); ++p) {
+      sim::Engine::ShardScope scope(engine, cluster_.shard_of(p));
       engine.spawn(phase_slave(cluster_, phase, p, gather_bytes[static_cast<std::size_t>(p)]));
     }
     engine.run();

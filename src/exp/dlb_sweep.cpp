@@ -2,9 +2,12 @@
 // strategy x app x processors x load parameters x seeds.
 //
 //   ./dlb_sweep --figure=5                 # the paper's Fig. 5 grid (MXM, P=4)
+//   ./dlb_sweep --figure=scale             # weak-scaling: strategy x P x topology
 //   ./dlb_sweep --app=mxm,trfd --procs=4,16 --strategies=all --seeds=3
 //               [--tl=2,16] [--max-load=5] [--seed0=1000] [--loop=-1]
 //               [--threads=0] [--format=summary|csv|json] [--timing]
+//               [--topology=shared,switched] [--rack-size=32] [--shards=1]
+//               [--iters-per-proc=32]       # scale preset: work per processor
 //               [--R=400 --C=400 --R2=400] [--n=30]
 //               [--faults=crash-half|crash-coord|crash-two|revoke-half|
 //                         loss10|crash-loss]   # arm a fault preset
@@ -34,7 +37,8 @@ int main(int argc, char** argv) {
     const support::Cli cli(argc, argv);
     cli.reject_unknown({"figure", "app", "procs", "strategies", "tl", "max-load", "seeds",
                         "seed0", "loop", "threads", "format", "timing", "faults", "R", "C",
-                        "R2", "n", "iters", "ops", "bytes", "trace-out", "metrics"});
+                        "R2", "n", "iters", "ops", "bytes", "trace-out", "metrics",
+                        "topology", "rack-size", "shards", "iters-per-proc"});
     auto grid = exp::parse_grid(cli);
 
     const auto trace_dir = cli.get("trace-out", "");
@@ -61,13 +65,17 @@ int main(int argc, char** argv) {
     report.include_timing = cli.has("timing");
     report.include_faults = grid.config.faults.armed();
     report.include_metrics = metrics;
+    // The column appears iff the grid actually sweeps or overrides the
+    // topology, so pre-existing shared-only sweeps stay byte-identical.
+    report.include_topology = grid.topologies.size() > 1 ||
+                              grid.topologies[0] != net::TopologyKind::kShared;
     const auto format = cli.get("format", "summary");
     if (format == "csv") {
       exp::write_csv(std::cout, sweep, report);
     } else if (format == "json") {
       exp::write_json(std::cout, sweep, report);
     } else if (format == "summary") {
-      exp::write_summary(std::cout, sweep, grid.seeds);
+      exp::write_summary(std::cout, sweep, grid.seeds, report.include_topology);
     } else {
       throw std::invalid_argument("dlb_sweep: --format must be summary, csv or json");
     }

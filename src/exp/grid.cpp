@@ -70,6 +70,23 @@ double strict_double(const std::string& item, const char* flag) {
   return value;
 }
 
+/// Applies the topology/sharding flags shared by preset and custom grids:
+/// --topology=shared,switched (axis), --rack-size, --shards.
+void apply_topology(ExperimentGrid& grid, const support::Cli& cli) {
+  if (cli.has("rack-size")) {
+    grid.cluster_template.switched.rack_size = static_cast<int>(cli.get_int("rack-size", 32));
+  }
+  if (cli.has("shards")) {
+    grid.cluster_template.engine_shards = static_cast<int>(cli.get_int("shards", 1));
+  }
+  const auto spec = cli.get("topology", "");
+  if (spec.empty()) return;
+  grid.topologies.clear();
+  for (const auto& name : split_commas(spec)) {
+    grid.topologies.push_back(net::parse_topology(name));
+  }
+}
+
 core::Strategy strategy_from_label(const std::string& label) {
   if (label == "nodlb" || label == "none") return core::Strategy::kNoDlb;
   if (label == "gc") return core::Strategy::kGCDLB;
@@ -85,6 +102,7 @@ core::Strategy strategy_from_label(const std::string& label) {
 void ExperimentGrid::validate() const {
   if (apps.empty()) throw std::invalid_argument("ExperimentGrid: no apps");
   if (procs.empty()) throw std::invalid_argument("ExperimentGrid: no processor counts");
+  if (topologies.empty()) throw std::invalid_argument("ExperimentGrid: no topologies");
   if (strategies.empty()) throw std::invalid_argument("ExperimentGrid: no strategies");
   if (max_loads.empty()) throw std::invalid_argument("ExperimentGrid: no load amplitudes");
   if (seeds <= 0) throw std::invalid_argument("ExperimentGrid: seeds must be positive");
@@ -101,14 +119,15 @@ void ExperimentGrid::validate() const {
 }
 
 std::size_t ExperimentGrid::cell_count() const noexcept {
-  return apps.size() * procs.size() * tl_points() * max_loads.size() * strategies.size() *
-         static_cast<std::size_t>(seeds);
+  return apps.size() * procs.size() * topologies.size() * tl_points() * max_loads.size() *
+         strategies.size() * static_cast<std::size_t>(seeds);
 }
 
 CellSpec ExperimentGrid::cell(std::size_t index) const {
   if (index >= cell_count()) throw std::out_of_range("ExperimentGrid::cell: index");
 
-  // Row-major decode: app, procs, tl, max_load, strategy, seed (innermost).
+  // Row-major decode: app, procs, topology, tl, max_load, strategy, seed
+  // (innermost).
   CellSpec c;
   c.index = index;
   std::size_t rest = index;
@@ -120,6 +139,8 @@ CellSpec ExperimentGrid::cell(std::size_t index) const {
   rest /= max_loads.size();
   c.tl_i = rest % tl_points();
   rest /= tl_points();
+  c.topo_i = rest % topologies.size();
+  rest /= topologies.size();
   c.proc_i = rest % procs.size();
   rest /= procs.size();
   c.app_i = rest;
@@ -130,6 +151,7 @@ CellSpec ExperimentGrid::cell(std::size_t index) const {
 
   c.params = cluster_template;
   c.params.procs = procs[c.proc_i];
+  c.params.topology = topologies[c.topo_i];
   c.params.base_ops_per_sec = spec.base_ops_per_sec;
   c.params.load.max_load = max_loads[c.load_i];
   c.params.load.persistence = sim::from_seconds(c.tl_seconds);
@@ -139,6 +161,11 @@ CellSpec ExperimentGrid::cell(std::size_t index) const {
   c.config = config;
   c.config.strategy = strategies[c.strat_i];
   c.loop_index = loop_index;
+  if (spec.weak_iters_per_proc > 0) {
+    c.app_override = apps::make_uniform(
+        static_cast<std::int64_t>(spec.weak_iters_per_proc) * c.params.procs,
+        spec.weak_ops_per_iteration, spec.weak_bytes_per_iteration);
+  }
   return c;
 }
 
@@ -233,9 +260,45 @@ ExperimentGrid figure_grid(int figure, const support::Cli& cli) {
       break;
     }
     default:
-      throw std::invalid_argument("parse_grid: --figure must be 5, 6, 7 or 8");
+      throw std::invalid_argument("parse_grid: --figure must be 5, 6, 7, 8 or scale");
   }
   grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
+  grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
+  return grid;
+}
+
+/// --figure=scale: the weak-scaling grid strategy x P x topology.  One
+/// uniform app whose iteration count grows with P (fixed per-processor
+/// work), both topologies side by side, centralized strategies only by
+/// default — the distributed schemes broadcast profiles all-to-all every
+/// round, O(P^2) frames, which at P >= 4k is the wall this grid exists to
+/// show, not a point on it.
+ExperimentGrid scale_grid(const support::Cli& cli) {
+  ExperimentGrid grid;
+  grid.strategies = parse_strategies(cli.get("strategies", "nodlb,gc"));
+  grid.procs.clear();
+  for (const auto& p : split_commas(cli.get("procs", "256,1024,4096"))) {
+    grid.procs.push_back(strict_int(p, "procs"));
+  }
+  grid.topologies = {net::TopologyKind::kShared, net::TopologyKind::kSwitched};
+
+  AppSpec spec;
+  spec.weak_iters_per_proc = static_cast<int>(cli.get_int("iters-per-proc", 32));
+  spec.weak_ops_per_iteration = cli.get_double("ops", 50e3);
+  spec.weak_bytes_per_iteration = cli.get_double("bytes", 256.0);
+  if (spec.weak_iters_per_proc <= 0) {
+    throw std::invalid_argument("parse_grid: --iters-per-proc must be positive");
+  }
+  // Placeholder descriptor for validate(); every cell overrides it with its
+  // own P-sized instance.
+  spec.app = apps::make_uniform(spec.weak_iters_per_proc, spec.weak_ops_per_iteration,
+                                spec.weak_bytes_per_iteration);
+  spec.name = "weak[i/P=" + std::to_string(spec.weak_iters_per_proc) + "]";
+  spec.base_ops_per_sec = 20e6;
+  spec.default_tl_seconds = 1.0;
+  grid.apps.push_back(std::move(spec));
+
+  grid.seeds = static_cast<int>(cli.get_int("seeds", 1));
   grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
   return grid;
 }
@@ -244,7 +307,10 @@ ExperimentGrid figure_grid(int figure, const support::Cli& cli) {
 
 ExperimentGrid parse_grid(const support::Cli& cli) {
   if (cli.has("figure")) {
-    auto grid = figure_grid(static_cast<int>(cli.get_int("figure", 5)), cli);
+    const auto figure = cli.get("figure", "5");
+    auto grid = figure == "scale" ? scale_grid(cli)
+                                  : figure_grid(strict_int(figure, "figure"), cli);
+    apply_topology(grid, cli);
     apply_faults(grid, cli);
     grid.validate();
     return grid;
@@ -269,6 +335,7 @@ ExperimentGrid parse_grid(const support::Cli& cli) {
   grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
   grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
   grid.loop_index = static_cast<int>(cli.get_int("loop", -1));
+  apply_topology(grid, cli);
   apply_faults(grid, cli);
   grid.validate();
   return grid;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,14 @@ struct AppSpec {
   double base_ops_per_sec = 20e6;
   /// Load persistence t_l used when the grid has no explicit tl axis.
   double default_tl_seconds = 1.0;
+  /// Weak-scaling hook (--figure=scale): when > 0, each cell runs a fresh
+  /// uniform synthetic of weak_iters_per_proc * procs iterations (via
+  /// CellSpec::app_override) instead of `app`, so per-processor work stays
+  /// constant along the procs axis and wall time measures overhead, not
+  /// problem growth.
+  int weak_iters_per_proc = 0;
+  double weak_ops_per_iteration = 0.0;
+  double weak_bytes_per_iteration = 0.0;
 };
 
 /// Fully resolved coordinates + parameters of one experiment cell.  Cells
@@ -28,12 +37,15 @@ struct AppSpec {
 /// other cells, so a cell can execute on any thread.
 struct CellSpec {
   std::size_t index = 0;  // canonical (row-major) grid index
-  std::size_t app_i = 0, proc_i = 0, tl_i = 0, load_i = 0, strat_i = 0, seed_i = 0;
+  std::size_t app_i = 0, proc_i = 0, topo_i = 0, tl_i = 0, load_i = 0, strat_i = 0, seed_i = 0;
   std::string app_name;
-  cluster::ClusterParams params;  // procs/rate/tl/m_l/seed all resolved
+  cluster::ClusterParams params;  // procs/rate/topology/tl/m_l/seed all resolved
   core::DlbConfig config;         // strategy resolved
   int loop_index = -1;            // -1: whole app; else single loop
   double tl_seconds = 0.0;
+  /// Set when the app spec weak-scales (see AppSpec): the descriptor the
+  /// cell actually runs, sized for this cell's processor count.
+  std::optional<core::AppDescriptor> app_override;
   [[nodiscard]] std::uint64_t seed() const noexcept { return params.seed; }
 };
 
@@ -43,6 +55,10 @@ struct CellSpec {
 struct ExperimentGrid {
   std::vector<AppSpec> apps;
   std::vector<int> procs{4};
+  /// Topology axis (between procs and tl in the row-major order).  The
+  /// default single-element shared axis keeps every pre-topology grid's
+  /// canonical indices — a size-1 axis divides out of the decode.
+  std::vector<net::TopologyKind> topologies{net::TopologyKind::kShared};
   std::vector<core::Strategy> strategies;
   /// Load persistence axis; empty means one point at each app's default.
   std::vector<double> tl_seconds;
@@ -78,7 +94,15 @@ struct ExperimentGrid {
 ///   --app=mxm,trfd --procs=4,16 --strategies=all|nodlb,gc,gd,lc,ld
 ///   --tl=16 --max-load=5 --seeds=3 --seed0=1000 --loop=-1
 ///   --R/--C/--R2 (mxm shape), --n (trfd), --iters/--ops/--bytes (uniform)
+///   --topology=shared,switched --rack-size=32 --shards=1 (engine shards;
+///     only a switched topology ever shards — see ClusterParams)
 ///   --figure=5|6|7|8 presets the paper grids (app shapes, procs, rates).
+///   --figure=scale presets the weak-scaling grid: strategy x P x topology
+///     with a uniform app whose iterations grow with P (fixed per-proc
+///     work); defaults procs=256,1024,4096, strategies=nodlb,gc (the
+///     distributed schemes broadcast all-to-all every round — O(P^2)
+///     frames — which is exactly the shared-medium wall this grid shows),
+///     seeds=1, --iters-per-proc=32.
 ///   --faults=none|crash-half|crash-coord|crash-two|revoke-half|loss10|crash-loss
 ///     arms a fault preset on every cell; NoDLB is dropped from the strategy
 ///     axis when armed (it has no recovery path).

@@ -1,5 +1,6 @@
 #include "exp/pool.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -48,6 +49,37 @@ void Pool::submit(std::function<void()> task) {
 void Pool::wait() {
   std::unique_lock<std::mutex> lock(state_mutex_);
   all_done_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void Pool::help(const std::shared_ptr<Batch>& batch) {
+  for (;;) {
+    const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) return;
+    (*batch->fn)(i);
+    std::lock_guard<std::mutex> lock(batch->mutex);
+    if (++batch->done == batch->count) batch->finished.notify_all();
+  }
+}
+
+void Pool::run_batch(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || size() == 1) {
+    // Nobody to share with (or nothing to share): skip the latch entirely.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  // The caller blocks in this frame until done == count, and helpers only
+  // dereference fn for indexes claimed before that, so the pointer is safe.
+  batch->fn = &fn;
+  const std::size_t helpers = std::min(count, static_cast<std::size_t>(size())) - 1;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([batch] { help(batch); });
+  }
+  help(batch);  // claim inline: progress never depends on helper scheduling
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->finished.wait(lock, [&batch] { return batch->done == batch->count; });
 }
 
 bool Pool::try_acquire(std::size_t id, std::function<void()>& out) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/executor.hpp"
 
 namespace dlb::exp {
 
@@ -37,6 +40,16 @@ class Pool {
   /// Blocks until every task submitted so far has finished executing.
   void wait();
 
+  /// Runs fn(0..count-1) to completion, sharing the indexes with idle
+  /// workers.  Claim-and-help: the caller claims and executes indexes
+  /// inline — so the call makes progress even when every worker is busy or
+  /// the pool has one thread — while up to size()-1 helper tasks let idle
+  /// workers join in.  Safe to call from worker threads (a cell task
+  /// running its engine's shard windows); never deadlocks because the
+  /// caller does not depend on any helper being scheduled.  `fn` must not
+  /// throw (the sharded engine parks exceptions per shard instead).
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
 
   /// Resolves the threads argument the way the constructor does.
@@ -47,6 +60,20 @@ class Pool {
     std::deque<std::function<void()>> tasks;
     std::mutex mutex;
   };
+
+  /// One run_batch invocation: a shared claim counter plus a completion
+  /// latch.  Indexes are claimed before execution, so every index runs
+  /// exactly once whether the caller or a helper gets it.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;  // guarded by mutex
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+
+  static void help(const std::shared_ptr<Batch>& batch);
 
   void worker_loop(std::size_t id);
   [[nodiscard]] bool try_acquire(std::size_t id, std::function<void()>& out);
@@ -61,6 +88,23 @@ class Pool {
   std::size_t completed_ = 0;
   std::size_t next_queue_ = 0;  // round-robin submission target
   bool stop_ = false;
+};
+
+/// Adapter running a sharded Engine's window tasks on an exp::Pool, so
+/// cell-level parallelism (one task per simulation cell) and intra-cell
+/// shard parallelism draw from the same thread budget instead of
+/// oversubscribing the host.  Pure mechanism: the engine's windowed
+/// algorithm keeps results identical to the built-in InlineExecutor.
+class PoolShardExecutor final : public sim::ShardExecutor {
+ public:
+  explicit PoolShardExecutor(Pool& pool) noexcept : pool_(&pool) {}
+
+  void run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn) override {
+    pool_->run_batch(count, fn);
+  }
+
+ private:
+  Pool* pool_;
 };
 
 }  // namespace dlb::exp

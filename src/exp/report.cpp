@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "net/topology.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
 
@@ -34,7 +35,9 @@ std::vector<std::string> header_row(const ReportOptions& options,
                                     const std::vector<std::string>& metrics) {
   std::vector<std::string> h;
   h.reserve(kMaxColumns + metrics.size());
-  h.insert(h.end(), {"app",   "procs",  "strategy",        "tl_seconds",
+  h.insert(h.end(), {"app", "procs"});
+  if (options.include_topology) h.push_back("topology");
+  h.insert(h.end(), {"strategy", "tl_seconds",
                      "max_load", "seed", "exec_seconds",    "syncs",
                      "redistributions", "iterations_moved", "messages", "bytes"});
   if (options.include_faults) {
@@ -53,6 +56,11 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
   row.insert(row.end(), {
       c.spec.app_name,
       std::to_string(c.spec.params.procs),
+  });
+  if (options.include_topology) {
+    row.push_back(net::topology_name(c.spec.params.topology));
+  }
+  row.insert(row.end(), {
       std::string(core::strategy_name(c.spec.config.strategy)),
       fmt_exact(c.spec.tl_seconds),
       std::to_string(c.spec.params.load.max_load),
@@ -120,9 +128,10 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
     line.clear();
     line += "  {";
     for (std::size_t k = 0; k < header.size(); ++k) {
-      // Numeric columns are every one except app, strategy and the fault
-      // preset name.
-      const bool quoted = header[k] == "app" || header[k] == "strategy" || header[k] == "faults";
+      // Numeric columns are every one except app, topology, strategy and
+      // the fault preset name.
+      const bool quoted = header[k] == "app" || header[k] == "topology" ||
+                          header[k] == "strategy" || header[k] == "faults";
       if (k) line += ", ";
       line += '"';
       line += header[k];
@@ -145,17 +154,28 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
   os << "]\n";
 }
 
-void write_summary(std::ostream& os, const SweepResult& sweep, int seeds) {
+void write_summary(std::ostream& os, const SweepResult& sweep, int seeds, bool include_topology) {
   if (seeds <= 0 || sweep.cells.size() % static_cast<std::size_t>(seeds) != 0) {
     os << "(summary unavailable: cell count not a multiple of seeds)\n";
     return;
   }
-  support::Table table({"app", "P", "strategy", "tl", "m_l", "mean exec [s]", "mean syncs",
-                        "mean moved"});
+  std::vector<std::string> table_header{"app", "P"};
+  std::vector<std::string> csv_header{"app", "procs"};
+  if (include_topology) {
+    table_header.push_back("topology");
+    csv_header.push_back("topology");
+  }
+  for (const auto* col : {"strategy", "tl", "m_l", "mean exec [s]", "mean syncs", "mean moved"}) {
+    table_header.emplace_back(col);
+  }
+  for (const auto* col : {"strategy", "tl_seconds", "max_load", "mean_exec_seconds", "mean_syncs",
+                          "mean_iterations_moved"}) {
+    csv_header.emplace_back(col);
+  }
+  support::Table table(table_header);
   std::ostringstream csv_buf;
   support::CsvWriter csv(csv_buf);
-  csv.write_row({"app", "procs", "strategy", "tl_seconds", "max_load", "mean_exec_seconds",
-                 "mean_syncs", "mean_iterations_moved"});
+  csv.write_row(csv_header);
 
   // Seeds are the innermost axis, so each grid point is a contiguous block.
   for (std::size_t base = 0; base < sweep.cells.size(); base += static_cast<std::size_t>(seeds)) {
@@ -170,14 +190,26 @@ void write_summary(std::ostream& os, const SweepResult& sweep, int seeds) {
     syncs /= seeds;
     moved /= seeds;
     const auto& spec = sweep.cells[base].spec;
-    table.add_row({spec.app_name, std::to_string(spec.params.procs),
-                   core::strategy_name(spec.config.strategy), support::fmt_fixed(spec.tl_seconds, 1),
-                   std::to_string(spec.params.load.max_load), support::fmt_fixed(exec, 4),
-                   support::fmt_fixed(syncs, 2), support::fmt_fixed(moved, 1)});
-    csv.write_row({spec.app_name, std::to_string(spec.params.procs),
-                   core::strategy_name(spec.config.strategy), fmt_exact(spec.tl_seconds),
-                   std::to_string(spec.params.load.max_load), fmt_exact(exec), fmt_exact(syncs),
-                   fmt_exact(moved)});
+    std::vector<std::string> table_row{spec.app_name, std::to_string(spec.params.procs)};
+    std::vector<std::string> csv_row = table_row;
+    if (include_topology) {
+      table_row.emplace_back(net::topology_name(spec.params.topology));
+      csv_row.emplace_back(net::topology_name(spec.params.topology));
+    }
+    for (auto& value :
+         {std::string(core::strategy_name(spec.config.strategy)),
+          support::fmt_fixed(spec.tl_seconds, 1), std::to_string(spec.params.load.max_load),
+          support::fmt_fixed(exec, 4), support::fmt_fixed(syncs, 2),
+          support::fmt_fixed(moved, 1)}) {
+      table_row.push_back(value);
+    }
+    for (auto& value : {std::string(core::strategy_name(spec.config.strategy)),
+                        fmt_exact(spec.tl_seconds), std::to_string(spec.params.load.max_load),
+                        fmt_exact(exec), fmt_exact(syncs), fmt_exact(moved)}) {
+      csv_row.push_back(value);
+    }
+    table.add_row(table_row);
+    csv.write_row(csv_row);
   }
   table.print(os);
   os << "\ncsv:\n" << csv_buf.str();

@@ -24,6 +24,10 @@ struct ReportOptions {
   /// dlb_sweep turns this on with --metrics; it requires cells run with
   /// DlbConfig::observe, otherwise there are simply no metric columns.
   bool include_metrics = false;
+  /// Insert a "topology" column after "procs".  dlb_sweep turns this on iff
+  /// the grid's topology axis is non-default, so existing shared-only
+  /// sweeps (the fig5-8 baselines) stay byte-identical.
+  bool include_topology = false;
 };
 
 /// One CSV/JSON row per cell, canonical grid order.  Columns:
@@ -38,8 +42,9 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
 /// Aggregated view: one row per grid point (all axes except seed), mean
 /// exec/syncs/moved over the seed axis — the shape the paper's figures
 /// plot.  Written as an aligned table plus a trailing CSV block, mirroring
-/// the bench output style.
-void write_summary(std::ostream& os, const SweepResult& sweep, int seeds);
+/// the bench output style.  include_topology mirrors ReportOptions.
+void write_summary(std::ostream& os, const SweepResult& sweep, int seeds,
+                   bool include_topology = false);
 
 /// Host-timing summary (total wall, serial-equivalent sum, speedup,
 /// cells/s).  Separate from the deterministic result streams.

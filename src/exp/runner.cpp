@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "core/runtime.hpp"
@@ -27,13 +28,20 @@ double SweepResult::cell_wall_sum() const {
 
 Runner::Runner(RunnerOptions options) : options_(options) {}
 
-CellResult Runner::run_cell(const ExperimentGrid& grid, std::size_t index) {
+CellResult Runner::run_cell(const ExperimentGrid& grid, std::size_t index, Pool* pool) {
   const auto t0 = std::chrono::steady_clock::now();
   CellResult out;
   out.spec = grid.cell(index);
 
   cluster::Cluster cluster(out.spec.params);
-  core::Runtime runtime(cluster, grid.apps[out.spec.app_i].app, out.spec.config);
+  std::optional<PoolShardExecutor> executor;
+  if (pool != nullptr && cluster.engine().is_sharded()) {
+    executor.emplace(*pool);
+    cluster.engine().set_executor(&*executor);
+  }
+  const core::AppDescriptor& app =
+      out.spec.app_override ? *out.spec.app_override : grid.apps[out.spec.app_i].app;
+  core::Runtime runtime(cluster, app, out.spec.config);
   out.result = out.spec.loop_index < 0
                    ? runtime.run()
                    : runtime.run_single_loop(static_cast<std::size_t>(out.spec.loop_index));
@@ -77,9 +85,9 @@ SweepResult Runner::run(const ExperimentGrid& grid) const {
 
   Pool pool(options_.threads);
   for (const std::size_t index : order) {
-    pool.submit([&grid, &sweep, &errors, index] {
+    pool.submit([&grid, &sweep, &errors, &pool, index] {
       try {
-        sweep.cells[index] = Runner::run_cell(grid, index);
+        sweep.cells[index] = Runner::run_cell(grid, index, &pool);
       } catch (...) {
         errors[index] = std::current_exception();
       }

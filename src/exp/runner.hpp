@@ -9,6 +9,8 @@
 
 namespace dlb::exp {
 
+class Pool;
+
 struct RunnerOptions {
   /// Pool width; 0 picks hardware concurrency, 1 degenerates to a serial
   /// run through the pool machinery.
@@ -55,8 +57,14 @@ class Runner {
   [[nodiscard]] static SweepResult run_serial(const ExperimentGrid& grid);
 
   /// Executes a single cell (fresh cluster, one Runtime::run or
-  /// run_single_loop).  Thread-safe for distinct cells.
-  [[nodiscard]] static CellResult run_cell(const ExperimentGrid& grid, std::size_t index);
+  /// run_single_loop).  Thread-safe for distinct cells.  When `pool` is
+  /// non-null and the cell's cluster shards its engine (switched topology
+  /// with engine_shards > 1), shard windows run on the pool — intra-cell
+  /// parallelism sharing the same thread budget as cell-level parallelism.
+  /// A null pool runs shard windows inline; either way the result is
+  /// identical (the windowed engine is deterministic by construction).
+  [[nodiscard]] static CellResult run_cell(const ExperimentGrid& grid, std::size_t index,
+                                           Pool* pool = nullptr);
 
  private:
   RunnerOptions options_;

@@ -10,6 +10,9 @@ void Network::set_segments(int segments, std::vector<int> segment_of,
   if (messages_sent_ != 0) {
     throw std::logic_error("Network: set_segments after traffic started");
   }
+  if (topology_ == TopologyKind::kSwitched) {
+    throw std::logic_error("Network: set_segments excludes set_switched");
+  }
   for (const int s : segment_of) {
     if (s < 0 || s >= segments) throw std::invalid_argument("Network: bad segment index");
   }
@@ -19,12 +22,55 @@ void Network::set_segments(int segments, std::vector<int> segment_of,
   bridge_latency_ = bridge_latency;
 }
 
+void Network::set_switched(int procs, SwitchedParams params, int shards) {
+  if (procs < 1) throw std::invalid_argument("Network: procs < 1");
+  if (params.rack_size < 1) throw std::invalid_argument("Network: rack_size < 1");
+  if (params.cut_through <= 0) {
+    throw std::invalid_argument("Network: cut_through must be positive");
+  }
+  if (messages_sent() != 0) {
+    throw std::logic_error("Network: set_switched after traffic started");
+  }
+  if (topology_ == TopologyKind::kSwitched) {
+    throw std::logic_error("Network: topology already switched");
+  }
+  if (segments_.size() > 1 || !segment_of_.empty()) {
+    throw std::logic_error("Network: set_switched excludes set_segments");
+  }
+  const int racks = rack_count(procs, params.rack_size);
+  if (shards < 1 || shards > racks) {
+    throw std::invalid_argument("Network: shards must be in [1, racks]");
+  }
+  topology_ = TopologyKind::kSwitched;
+  switched_ = params;
+  segments_.clear();
+  for (int r = 0; r < racks; ++r) {
+    segments_.emplace_back(params_);
+    ports_.emplace_back(params);
+  }
+  segment_of_.resize(static_cast<std::size_t>(procs));
+  for (int i = 0; i < procs; ++i) {
+    segment_of_[static_cast<std::size_t>(i)] = rack_of(i, params.rack_size);
+  }
+  shard_of_rack_.resize(static_cast<std::size_t>(racks));
+  for (int r = 0; r < racks; ++r) {
+    shard_of_rack_[static_cast<std::size_t>(r)] = shard_of_rack(r, racks, shards);
+  }
+  ingress_counter_.assign(static_cast<std::size_t>(procs), 0);
+  rack_counters_.assign(static_cast<std::size_t>(racks), RackCounters{});
+}
+
 int Network::segment_of(int id) const {
   if (segment_of_.empty()) return 0;
   if (id < 0 || static_cast<std::size_t>(id) >= segment_of_.size()) {
     throw std::invalid_argument("Network: endpoint without a segment");
   }
   return segment_of_[static_cast<std::size_t>(id)];
+}
+
+int Network::shard_of(int id) const {
+  if (topology_ != TopologyKind::kSwitched) return 0;
+  return shard_of_rack_[static_cast<std::size_t>(segment_of(id))];
 }
 
 void Network::attach(int id, sim::Mailbox& mailbox) {
@@ -43,6 +89,11 @@ sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::
   if (dst < 0 || static_cast<std::size_t>(dst) >= mailboxes_.size() ||
       mailboxes_[static_cast<std::size_t>(dst)] == nullptr) {
     throw std::invalid_argument("Network: send to unattached endpoint");
+  }
+  if (topology_ == TopologyKind::kSwitched) {
+    co_await send_switched(src, dst, tag, std::move(payload), bytes, overhead_fraction,
+                           droppable);
+    co_return;
   }
   sim::Message message;
   message.source = src;
@@ -83,6 +134,91 @@ sim::Task<void> Network::send(int src, int dst, int tag, std::any payload, std::
   engine_.schedule_at(deliver_at, [destination, m = std::move(message)]() mutable {
     destination->deliver(std::move(m));
   });
+}
+
+sim::Task<void> Network::send_switched(int src, int dst, int tag, std::any payload,
+                                       std::size_t bytes, double overhead_fraction,
+                                       bool droppable) {
+  sim::Message message;
+  message.source = src;
+  message.tag = tag;
+  message.bytes = bytes;
+  message.payload = std::move(payload);
+  message.sent_at = engine_.now();
+
+  // Sender CPU: pack + transmit syscall (identical to the shared path).
+  co_await engine_.sleep_for(static_cast<sim::SimTime>(
+      static_cast<double>(params_.sender_overhead) * overhead_fraction));
+
+  const int src_rack = rack_of(src, switched_.rack_size);
+  const int dst_rack = rack_of(dst, switched_.rack_size);
+  RackCounters& counters = rack_counters_[static_cast<std::size_t>(src_rack)];
+  if (src_rack == dst_rack) {
+    // Intra-rack: the rack segment behaves exactly like the paper's shared
+    // Ethernet, and the whole path stays on the sender's shard.
+    const sim::SimTime deliver_at =
+        segments_[static_cast<std::size_t>(src_rack)].transmit(bytes, engine_.now());
+    ++counters.messages;
+    counters.bytes += bytes;
+    const bool dropped = drop_hook_ && drop_hook_(src, dst, tag, bytes, droppable);
+    if (recorder_ != nullptr) {
+      recorder_->message(src, dst, tag, bytes, message.sent_at, deliver_at, dropped);
+    }
+    if (dropped) {
+      ++counters.dropped;
+      co_return;
+    }
+    sim::Mailbox* destination = mailboxes_[static_cast<std::size_t>(dst)];
+    engine_.schedule_at(deliver_at, [destination, m = std::move(message)]() mutable {
+      destination->deliver(std::move(m));
+    });
+    co_return;
+  }
+
+  // Cross-rack: source segment, then the cut-through fabric hop — the one
+  // and only cross-shard channel.
+  const sim::SimTime wire_done =
+      segments_[static_cast<std::size_t>(src_rack)].transmit(bytes, engine_.now());
+  ++counters.messages;
+  counters.bytes += bytes;
+  ++counters.crossings;
+  const bool dropped = drop_hook_ && drop_hook_(src, dst, tag, bytes, droppable);
+  if (dropped) {
+    // Garbled on the source wire: never reaches the fabric.
+    ++counters.dropped;
+    if (recorder_ != nullptr) {
+      recorder_->message(src, dst, tag, bytes, message.sent_at, wire_done, true);
+    }
+    co_return;
+  }
+
+  // Canonical ingress key: bit 63 (orders after every same-time shard-local
+  // event) | source station | per-source frame counter.  Both the key and
+  // the ingress time derive only from source-side deterministic state, so
+  // the destination shard pops fabric arrivals in the same order at any
+  // shard count.
+  std::uint32_t& frame_counter = ingress_counter_[static_cast<std::size_t>(src)];
+  const std::uint64_t key =
+      (std::uint64_t{1} << 63) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) | frame_counter++;
+  const int dst_shard = shard_of_rack_[static_cast<std::size_t>(dst_rack)];
+  sim::Mailbox* destination = mailboxes_[static_cast<std::size_t>(dst)];
+  engine_.schedule_ingress(
+      dst_shard, wire_done + switched_.cut_through, key,
+      [this, destination, dst_rack, src, dst, tag, m = std::move(message)]() mutable {
+        // Runs on the destination rack's shard at fabric-egress time: the
+        // crossbar output port serializes the frame onto the rack segment.
+        const sim::SimTime port_done =
+            ports_[static_cast<std::size_t>(dst_rack)].transmit(m.bytes, engine_.now());
+        const sim::SimTime deliver_at =
+            segments_[static_cast<std::size_t>(dst_rack)].transmit(m.bytes, port_done);
+        if (recorder_ != nullptr) {
+          recorder_->message(src, dst, tag, m.bytes, m.sent_at, deliver_at, false);
+        }
+        engine_.schedule_at(deliver_at, [destination, m2 = std::move(m)]() mutable {
+          destination->deliver(std::move(m2));
+        });
+      });
 }
 
 sim::Task<void> Network::multicast(int src, std::span<const int> dsts, int tag,

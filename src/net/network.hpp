@@ -10,6 +10,7 @@
 
 #include "net/ethernet.hpp"
 #include "net/params.hpp"
+#include "net/topology.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
@@ -29,6 +30,17 @@ namespace dlb::net {
 /// occupies only its segment; an inter-segment message occupies the source
 /// segment, then the destination segment, plus a store-and-forward bridge
 /// latency — the classic two-Ethernets-with-a-bridge department LAN.
+///
+/// `set_switched` selects the hierarchical topology instead: one segment per
+/// rack under a crossbar core (see TopologyKind).  A cross-rack frame takes
+/// source segment → cut-through fabric → destination rack's crossbar output
+/// port → destination segment.  The fabric hop is the engine's cross-shard
+/// ingress channel: its timestamp and sequence key depend only on
+/// source-side deterministic state, which is what keeps a sharded run
+/// bit-identical to an unsharded one.  All per-frame mutable state on the
+/// path (source segment, sender counters; output port, destination segment)
+/// belongs to the source resp. destination rack's shard, so switched traffic
+/// is data-race-free under the windowed parallel engine.
 class Network {
  public:
   Network(sim::Engine& engine, EthernetParams params)
@@ -43,6 +55,13 @@ class Network {
   /// `bridge_latency` for the store-and-forward hop between segments.
   void set_segments(int segments, std::vector<int> segment_of,
                     sim::SimTime bridge_latency = sim::from_micros(500.0));
+
+  /// Selects the switched/hierarchical topology for `procs` endpoints: one
+  /// shared segment per rack of `params.rack_size` stations under a crossbar
+  /// core.  `shards` is the engine's shard count (racks map onto shards in
+  /// contiguous balanced blocks); pass 1 when the engine is unsharded.  Must
+  /// be called before traffic flows and excludes `set_segments`.
+  void set_switched(int procs, SwitchedParams params, int shards);
 
   /// Registers `mailbox` as endpoint `id` (ids must be dense from 0).
   void attach(int id, sim::Mailbox& mailbox);
@@ -89,17 +108,54 @@ class Network {
                                                 int source = sim::kAnySource);
 
   [[nodiscard]] const EthernetParams& params() const noexcept { return params_; }
+  [[nodiscard]] TopologyKind topology() const noexcept { return topology_; }
+  [[nodiscard]] const SwitchedParams& switched_params() const noexcept { return switched_; }
   [[nodiscard]] const Ethernet& medium(int segment = 0) const {
     return segments_.at(static_cast<std::size_t>(segment));
   }
+  [[nodiscard]] const CrossbarPort& port(int rack) const {
+    return ports_.at(static_cast<std::size_t>(rack));
+  }
   [[nodiscard]] int segments() const noexcept { return static_cast<int>(segments_.size()); }
   [[nodiscard]] int segment_of(int id) const;
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
-  [[nodiscard]] std::uint64_t bridge_crossings() const noexcept { return bridge_crossings_; }
-  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  /// Engine shard owning endpoint `id` (0 when unsharded or shared).
+  [[nodiscard]] int shard_of(int id) const;
+
+  // Traffic totals.  Under the switched topology the per-frame increments go
+  // to the sender's rack row (one writer per rack, so the counters stay
+  // race-free under the sharded engine); the accessors sum the rows.
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_ + rack_sum(&RackCounters::messages);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_ + rack_sum(&RackCounters::bytes);
+  }
+  /// Inter-segment bridge hops (shared) or cross-rack fabric hops (switched).
+  [[nodiscard]] std::uint64_t bridge_crossings() const noexcept {
+    return bridge_crossings_ + rack_sum(&RackCounters::crossings);
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return messages_dropped_ + rack_sum(&RackCounters::dropped);
+  }
 
  private:
+  struct RackCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t crossings = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] std::uint64_t rack_sum(std::uint64_t RackCounters::* field) const noexcept {
+    std::uint64_t total = 0;
+    for (const RackCounters& rc : rack_counters_) total += rc.*field;
+    return total;
+  }
+
+  [[nodiscard]] sim::Task<void> send_switched(int src, int dst, int tag, std::any payload,
+                                              std::size_t bytes, double overhead_fraction,
+                                              bool droppable);
+
   sim::Engine& engine_;
   EthernetParams params_;
   std::vector<Ethernet> segments_;
@@ -112,6 +168,14 @@ class Network {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bridge_crossings_ = 0;
   std::uint64_t messages_dropped_ = 0;
+
+  // Switched-topology state (empty under kShared).
+  TopologyKind topology_ = TopologyKind::kShared;
+  SwitchedParams switched_;
+  std::vector<CrossbarPort> ports_;      // crossbar output port per rack
+  std::vector<int> shard_of_rack_;       // rack -> engine shard
+  std::vector<std::uint32_t> ingress_counter_;  // per-source canonical frame counter
+  std::vector<RackCounters> rack_counters_;     // per source rack
 };
 
 }  // namespace dlb::net

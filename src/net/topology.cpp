@@ -1,0 +1,27 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace dlb::net {
+
+int rack_of(int station, int rack_size) noexcept { return station / rack_size; }
+
+int rack_count(int stations, int rack_size) noexcept {
+  return (stations + rack_size - 1) / rack_size;
+}
+
+int shard_of_rack(int rack, int racks, int shards) noexcept {
+  return static_cast<int>(static_cast<long long>(rack) * shards / racks);
+}
+
+TopologyKind parse_topology(const std::string& name) {
+  if (name == "shared") return TopologyKind::kShared;
+  if (name == "switched") return TopologyKind::kSwitched;
+  throw std::invalid_argument("unknown topology '" + name + "' (use shared|switched)");
+}
+
+const char* topology_name(TopologyKind kind) noexcept {
+  return kind == TopologyKind::kShared ? "shared" : "switched";
+}
+
+}  // namespace dlb::net

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dlb::net {
+
+/// Network topology of the simulated cluster.
+///
+///  - kShared: every workstation on one shared Ethernet segment (the paper's
+///    testbed; the byte-identical default).
+///  - kSwitched: racks of shared segments under a non-blocking crossbar
+///    core — the hierarchical LAN that makes P = 4k-64k tractable.  A
+///    cross-rack frame occupies its source rack segment, cuts through the
+///    switch fabric (a fixed latency, no shared resource), then serializes
+///    through the crossbar's output port for the destination rack and the
+///    destination rack segment.
+enum class TopologyKind { kShared, kSwitched };
+
+/// Parameters of the switched/hierarchical topology.  Rack segments reuse
+/// the EthernetParams cost model; the crossbar adds the three knobs below.
+/// Defaults model an early switching fabric that is an order of magnitude
+/// faster than the 10base-T segments it aggregates.
+struct SwitchedParams {
+  /// Workstations per rack segment (the last rack may be smaller).
+  int rack_size = 32;
+  /// Switch-fabric cut-through latency, source port to output port.  Also
+  /// the engine's conservative lookahead: it is the minimum virtual latency
+  /// of any cross-rack (hence any cross-shard) interaction.
+  sim::SimTime cut_through = sim::from_micros(20.0);
+  /// Per-frame overhead of an output port (header processing, arbitration).
+  sim::SimTime port_overhead = sim::from_micros(5.0);
+  /// Output-port serialization bandwidth.
+  double port_bandwidth_bytes_per_sec = 100e6;
+
+  /// Time a crossbar output port is held by one `bytes`-sized frame.
+  [[nodiscard]] sim::SimTime port_occupancy(std::size_t bytes) const noexcept {
+    return port_overhead +
+           sim::from_seconds(static_cast<double>(bytes) / port_bandwidth_bytes_per_sec);
+  }
+};
+
+/// One output port of the crossbar core: a FIFO, capacity-1 resource like a
+/// rack segment, but with switch-port costs and no propagation term (the
+/// fabric's flight time is already paid by cut_through).
+class CrossbarPort {
+ public:
+  explicit CrossbarPort(SwitchedParams params) noexcept : params_(params) {}
+
+  /// Reserves the port for one frame; returns when its last byte has left.
+  sim::SimTime transmit(std::size_t bytes, sim::SimTime ready_at) noexcept {
+    const sim::SimTime start = ready_at > free_at_ ? ready_at : free_at_;
+    const sim::SimTime occupancy = params_.port_occupancy(bytes);
+    free_at_ = start + occupancy;
+    busy_time_ += occupancy;
+    ++messages_;
+    return free_at_;
+  }
+
+  [[nodiscard]] sim::SimTime busy_until() const noexcept { return free_at_; }
+  [[nodiscard]] sim::SimTime total_busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::uint64_t messages_carried() const noexcept { return messages_; }
+
+ private:
+  SwitchedParams params_;
+  sim::SimTime free_at_ = 0;
+  sim::SimTime busy_time_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+/// Rack of a workstation: contiguous blocks of `rack_size` stations.
+[[nodiscard]] int rack_of(int station, int rack_size) noexcept;
+
+/// Number of racks needed for `stations` workstations (last rack may be
+/// partial when rack_size does not divide stations).
+[[nodiscard]] int rack_count(int stations, int rack_size) noexcept;
+
+/// Engine shard owning a rack: contiguous balanced blocks (the same
+/// `i * n / m` split the segment map uses), so racks — and therefore
+/// workstations — of one shard are contiguous and block sizes differ by at
+/// most one.  Requires 1 <= shards <= racks.
+[[nodiscard]] int shard_of_rack(int rack, int racks, int shards) noexcept;
+
+/// Parses "--topology=" values; throws std::invalid_argument on anything
+/// but "shared" or "switched".
+[[nodiscard]] TopologyKind parse_topology(const std::string& name);
+
+[[nodiscard]] const char* topology_name(TopologyKind kind) noexcept;
+
+}  // namespace dlb::net

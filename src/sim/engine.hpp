@@ -4,13 +4,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <new>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/executor.hpp"
+#include "sim/frame_arena.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 
@@ -41,6 +45,24 @@ namespace dlb::sim {
 /// buffer (larger captures spill to the heap, once, inside the node).  Nodes
 /// are recycled through a free list, so the steady state of a run performs
 /// no allocation per event.
+///
+/// Sharded mode (`configure_shards`): the engine splits into S shards, each
+/// owning its own event queue, CallNode pool, frame arena and live-process
+/// list, and replaces the single run loop with a conservatively synchronized
+/// window loop.  Each round takes W = min over all shard queue fronts, runs
+/// every shard up to (but excluding) W + lookahead in parallel via a
+/// ShardExecutor, then merges cross-shard traffic at the barrier.  The
+/// lookahead is the minimum virtual latency of any cross-shard interaction
+/// (the switched network's cut-through latency), so an event generated inside
+/// a window can never target the same window on another shard — execution is
+/// deterministic by construction and bit-identical for any shard-to-worker
+/// assignment.  Cross-shard events carry a caller-supplied canonical key in
+/// place of the insertion sequence (bit 63 set, so they order after every
+/// same-time shard-local event); because both the key and the timestamp are
+/// derived from per-source deterministic state, the pop order — and therefore
+/// the simulation outcome — is also independent of the shard count.
+/// `configure_shards(1, …)` leaves the engine on the unsharded code path,
+/// which is untouched byte for byte.
 class Engine {
  public:
   Engine() = default;
@@ -48,7 +70,7 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime now() const noexcept { return shards_.empty() ? now_ : sharded_now(); }
 
   /// Schedules an arbitrary callback at absolute virtual time `at`
   /// (clamped to `now()` if in the past).
@@ -144,6 +166,9 @@ class Engine {
   }
 
   /// Cancels a pending cancellable callback; no-op on a stale handle.
+  /// In a sharded engine a timer may only be cancelled from the shard that
+  /// scheduled it (all protocol actors cancel their own timers, so this
+  /// holds by construction).
   void cancel(Timer& timer) noexcept {
     CallNode* node = timer.node_;
     timer.node_ = nullptr;
@@ -155,12 +180,18 @@ class Engine {
   /// Never throws mid-run: the queue grows geometrically and allocation
   /// failure terminates rather than corrupting the (time, seq) contract.
   void schedule_resume(SimTime at, std::coroutine_handle<> h) noexcept {
-    push_event(Event{at < now_ ? now_ : at, next_seq_++,
-                     reinterpret_cast<std::uintptr_t>(h.address()), false});
+    if (shards_.empty()) {
+      push_event(Event{at < now_ ? now_ : at, next_seq_++,
+                       reinterpret_cast<std::uintptr_t>(h.address()), false});
+      return;
+    }
+    sharded_schedule_resume(at, h);
   }
 
   /// Starts a root process as an event at the current time.  The engine owns
   /// the frame; exceptions escaping the process are re-thrown from run().
+  /// On a sharded engine the caller must hold a ShardScope (or be inside a
+  /// shard window), which pins the process to that shard.
   void spawn(Process p);
 
   /// Runs until the event queue drains.  Returns the final virtual time.
@@ -169,6 +200,97 @@ class Engine {
   /// Runs until the queue drains or virtual time would exceed `deadline`;
   /// events after the deadline remain queued.
   SimTime run_until(SimTime deadline);
+
+  // ── Sharding ──────────────────────────────────────────────────────────
+
+  /// Splits the engine into `shards` independently queued partitions
+  /// synchronized on `lookahead` (the minimum virtual latency of any
+  /// cross-shard event; must be positive).  Must be called before anything
+  /// is spawned or scheduled.  `shards == 1` is a no-op: the engine stays on
+  /// the legacy unsharded path.
+  void configure_shards(int shards, SimTime lookahead);
+
+  /// Number of shards (1 when unsharded).
+  [[nodiscard]] int shards() const noexcept {
+    return shards_.empty() ? 1 : static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] bool is_sharded() const noexcept { return !shards_.empty(); }
+  /// The conservative synchronization lookahead (0 when unsharded).
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// Installs the executor that runs shard window tasks; nullptr restores
+  /// the built-in inline (serial) executor.  The executor choice cannot
+  /// change the simulated outcome — only wall-clock time.
+  void set_executor(ShardExecutor* executor) noexcept { executor_ = executor; }
+
+  /// RAII shard context: while alive, spawns and schedules from this thread
+  /// are routed to `shard` (and coroutine frames are allocated in that
+  /// shard's arena).  No-op on an unsharded engine.  Used at setup time to
+  /// pin each root process to its rack's shard; the window loop establishes
+  /// the same context internally while a shard executes.
+  class ShardScope {
+   public:
+    ShardScope(Engine& engine, int shard);
+    ~ShardScope();
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    Engine* prev_engine_;
+    int prev_shard_;
+    std::optional<FrameArena::Bind> bind_;
+  };
+
+  /// Schedules a cross-shard (or cross-rack) event with a caller-supplied
+  /// canonical sequence key instead of the per-shard insertion counter.
+  /// `key` must have bit 63 set, be unique per event, and — like `at` — be
+  /// derived only from per-source deterministic state, so the resulting pop
+  /// order is independent of the shard count.  `at` must be at least
+  /// `now() + lookahead()`; this is what makes the conservative window sound.
+  /// On an unsharded engine the event simply joins the single queue (bit 63
+  /// orders it after every same-time normal event, exactly as it would be on
+  /// its destination shard).  This is the *only* legal channel for
+  /// cross-shard interaction — dlblint's shard-isolation rule enforces that
+  /// nothing outside src/sim + src/net touches it.
+  template <typename Fn>
+  void schedule_ingress(int dst_shard, SimTime at, std::uint64_t key, Fn&& fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<Fn>&>,
+                  "schedule_ingress callable must be invocable as void()");
+    if (shards_.empty()) {
+      CallNode* node = acquire_call_node();
+      try {
+        construct_call(node, std::forward<Fn>(fn));
+      } catch (...) {
+        release_call_node(node);
+        throw;
+      }
+      push_event(Event{at < now_ ? now_ : at, key, reinterpret_cast<std::uintptr_t>(node), true});
+      return;
+    }
+    Shard& src = ctx_shard();
+    Shard& dst = *shards_[static_cast<std::size_t>(dst_shard)];
+    if (&src == &dst) {
+      CallNode* node = acquire_call_node();
+      try {
+        construct_call(node, std::forward<Fn>(fn));
+      } catch (...) {
+        release_call_node(node);
+        throw;
+      }
+      src.push(Event{at < src.now ? src.now : at, key,
+                     reinterpret_cast<std::uintptr_t>(node), true});
+      return;
+    }
+    // Cross-shard: park in the source's outbox; the window barrier moves it
+    // into the destination queue with the same canonical (at, key).
+    src.outbox[static_cast<std::size_t>(dst_shard)].push_back(
+        Ingress{at, key, std::function<void()>(std::forward<Fn>(fn))});
+  }
+
+  /// Events executed by one shard (shard 0 = the whole engine when
+  /// unsharded).  The max over shards bounds the critical path of a window
+  /// schedule, which the scale bench uses as its deterministic speedup proxy.
+  [[nodiscard]] std::size_t shard_events_executed(int shard) const;
 
   /// Awaitable for sleep_for/sleep_until: suspends the awaiting coroutine
   /// until `wake_at` (no-op if already past).
@@ -184,7 +306,8 @@ class Engine {
 
   /// Awaitable: suspends the awaiting coroutine for `duration` virtual ns.
   [[nodiscard]] SleepAwaiter sleep_for(SimTime duration) noexcept {
-    return SleepAwaiter{*this, duration <= 0 ? now_ : now_ + duration};
+    const SimTime base = now();
+    return SleepAwaiter{*this, duration <= 0 ? base : base + duration};
   }
 
   /// Awaitable: suspends until absolute virtual time `at` (no-op if past).
@@ -192,8 +315,12 @@ class Engine {
     return SleepAwaiter{*this, at};
   }
 
-  [[nodiscard]] std::size_t events_executed() const noexcept { return events_executed_; }
-  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t events_executed() const noexcept {
+    return shards_.empty() ? events_executed_ : sharded_events_executed();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return shards_.empty() ? events_.empty() : sharded_empty();
+  }
 
   /// Name of the compile-time-selected event queue ("calendar" or "heap").
   [[nodiscard]] static constexpr const char* event_queue_name() noexcept {
@@ -202,9 +329,14 @@ class Engine {
 
   /// Current number of queued events (observability: sampled as the
   /// "heap depth" counter track of a Chrome trace).
-  [[nodiscard]] std::size_t queue_depth() const noexcept { return events_.size(); }
-  /// High-water mark of the event queue over the engine's lifetime.
-  [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_queue_depth_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return shards_.empty() ? events_.size() : sharded_queue_depth();
+  }
+  /// High-water mark of the event queue over the engine's lifetime (summed
+  /// over shards when sharded).
+  [[nodiscard]] std::size_t peak_queue_depth() const noexcept {
+    return shards_.empty() ? peak_queue_depth_ : sharded_peak_queue_depth();
+  }
 
  private:
   /// Pooled holder for a type-erased `schedule_at` callable.  Chunk-allocated
@@ -220,9 +352,44 @@ class Engine {
     bool cancelled;     // set by Engine::cancel; record skipped at heap root
   };
 
+  /// A cross-shard event parked in its source shard's outbox until the
+  /// window barrier.
+  struct Ingress {
+    SimTime at;
+    std::uint64_t key;
+    std::function<void()> fn;
+  };
+
+  /// One conservative-synchronization partition: a full private copy of the
+  /// engine's run state.  Exactly one thread executes a shard per window
+  /// (the executor barrier hands shards over with full synchronization), so
+  /// nothing here needs locking.
+  struct Shard {
+    EngineEventQueue events;
+    std::vector<std::unique_ptr<CallNode[]>> call_chunks;
+    CallNode* free_calls = nullptr;
+    Process::promise_type* live_head = nullptr;
+    std::exception_ptr pending;
+    SimTime now = 0;
+    std::uint64_t next_seq = 0;
+    std::size_t events_executed = 0;
+    std::size_t peak_queue_depth = 0;
+    std::vector<std::vector<Ingress>> outbox;  // indexed by destination shard
+    FrameArena::Handle arena;
+
+    void push(Event ev) noexcept {
+      events.push(ev);
+      if (events.size() > peak_queue_depth) peak_queue_depth = events.size();
+    }
+  };
+
   [[nodiscard]] CallNode* acquire_call_node();
   void release_call_node(CallNode* node) noexcept;
   void push_call_event(SimTime at, CallNode* node) noexcept;
+
+  [[nodiscard]] static CallNode* pool_acquire(std::vector<std::unique_ptr<CallNode[]>>& chunks,
+                                              CallNode*& free_list);
+  static void pool_release(CallNode*& free_list, CallNode* node) noexcept;
 
   // Inline: sits directly in every awaiter's suspend path.
   void push_event(Event ev) noexcept {
@@ -234,6 +401,18 @@ class Engine {
   static void process_done_hook(void* engine, Process::Handle h) noexcept;
   void on_process_done(Process::Handle h) noexcept;
 
+  // Sharded-mode slow paths (the inline entry points branch on
+  // `shards_.empty()` first, so the legacy hot path stays unchanged).
+  [[nodiscard]] Shard& ctx_shard() noexcept;
+  void sharded_schedule_resume(SimTime at, std::coroutine_handle<> h) noexcept;
+  [[nodiscard]] SimTime sharded_now() const noexcept;
+  [[nodiscard]] std::size_t sharded_events_executed() const noexcept;
+  [[nodiscard]] bool sharded_empty() const noexcept;
+  [[nodiscard]] std::size_t sharded_queue_depth() const noexcept;
+  [[nodiscard]] std::size_t sharded_peak_queue_depth() const noexcept;
+  SimTime run_sharded(SimTime deadline);
+  void run_window(std::size_t shard, SimTime end);
+
   EngineEventQueue events_;  // strict (at, seq) pop order
   std::vector<std::unique_ptr<CallNode[]>> call_chunks_;
   CallNode* free_calls_ = nullptr;
@@ -243,6 +422,11 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::size_t events_executed_ = 0;
   std::size_t peak_queue_depth_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;  // empty = unsharded
+  SimTime lookahead_ = 0;
+  ShardExecutor* executor_ = nullptr;  // null = inline_executor_
+  InlineExecutor inline_executor_;
 };
 
 }  // namespace dlb::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dlb::sim {
+
+/// Executor a sharded Engine uses to run one window's shard tasks.  The
+/// engine hands `count` independent tasks to `run_tasks` once per window;
+/// the executor may run them on any threads in any order but must not
+/// return before every task has finished — the return is the window
+/// barrier, and the engine relies on it for the happens-before edge that
+/// lets a shard migrate to a different worker next window.
+///
+/// The interface lives in sim so the engine stays free of any thread-pool
+/// dependency; exp::Pool adapts itself to it (intra-cell shard workers and
+/// cell-level workers then share one thread budget).
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  virtual void run_tasks(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Default executor: runs the shard tasks serially on the calling thread.
+/// The windowed schedule (and therefore the simulated outcome) is identical
+/// to any parallel executor's — determinism by construction, checked by the
+/// shard tests.
+class InlineExecutor final : public ShardExecutor {
+ public:
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+};
+
+}  // namespace dlb::sim

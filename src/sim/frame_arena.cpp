@@ -78,13 +78,44 @@ struct ThreadArena {
 };
 
 thread_local ThreadArena t_arena;
+// Allocation target: the thread's own arena by default; a FrameArena::Bind
+// temporarily retargets it at an engine-shard arena.
+thread_local ThreadArena* t_target = nullptr;
+
+ThreadArena& target() noexcept { return t_target != nullptr ? *t_target : t_arena; }
 
 }  // namespace
 
-void* FrameArena::allocate(std::size_t bytes) { return t_arena.allocate(bytes); }
+void* FrameArena::allocate(std::size_t bytes) { return target().allocate(bytes); }
 
-void FrameArena::deallocate(void* p) noexcept { t_arena.deallocate(p); }
+void FrameArena::deallocate(void* p) noexcept { target().deallocate(p); }
 
-FrameArena::Stats FrameArena::stats() noexcept { return t_arena.stats; }
+FrameArena::Stats FrameArena::stats() noexcept { return target().stats; }
+
+// dlblint:allow(hotpath-alloc) one arena per engine shard, created at configure time
+FrameArena::Handle::Handle() : impl_(new ThreadArena) {}
+
+// dlblint:allow(hotpath-alloc) releases the configure-time arena
+FrameArena::Handle::~Handle() { delete static_cast<ThreadArena*>(impl_); }
+
+FrameArena::Handle::Handle(Handle&& other) noexcept : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+
+FrameArena::Handle& FrameArena::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    // dlblint:allow(hotpath-alloc) releases the configure-time arena
+    delete static_cast<ThreadArena*>(impl_);
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+FrameArena::Bind::Bind(Handle& handle) noexcept : prev_(t_target) {
+  t_target = static_cast<ThreadArena*>(handle.impl_);
+}
+
+FrameArena::Bind::~Bind() { t_target = static_cast<ThreadArena*>(prev_); }
 
 }  // namespace dlb::sim

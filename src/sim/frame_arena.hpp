@@ -18,10 +18,51 @@ namespace dlb::sim {
 /// Engine thread model), so no locking is needed and recycling composes with
 /// exp::Pool workers, each of which warms its own arena on the first cell.
 /// Frames larger than kMaxBlock fall back to ::operator new.
+///
+/// Sharded engines are the one place frames *do* migrate threads: a shard may
+/// execute on a different pool worker every window.  For that case the engine
+/// owns one private arena per shard (`Handle`) and rebinds the calling
+/// thread's allocation target (`Bind`) for the duration of a shard's window,
+/// so every frame of a shard lives in that shard's arena no matter which OS
+/// thread runs the window.  Exactly one thread executes a given shard at a
+/// time (the window barrier hands shards over with full synchronization), so
+/// the arenas stay single-writer and lock-free.
 class FrameArena {
  public:
   static void* allocate(std::size_t bytes);
   static void deallocate(void* p) noexcept;
+
+  /// Owning handle to a private (non-thread-local) arena.  Destroying the
+  /// handle releases the arena's slabs, so it must outlive every frame
+  /// allocated under it.
+  class Handle {
+   public:
+    Handle();
+    ~Handle();
+    Handle(Handle&& other) noexcept;
+    Handle& operator=(Handle&& other) noexcept;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+   private:
+    friend class FrameArena;
+    void* impl_;
+  };
+
+  /// RAII rebind: while alive, this thread's allocate/deallocate/stats target
+  /// the handle's arena instead of the thread-local one.  Nests (restores the
+  /// previous target), so an inner unsharded engine inside a shard window
+  /// simply shares the shard's arena.
+  class Bind {
+   public:
+    explicit Bind(Handle& handle) noexcept;
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    void* prev_;
+  };
 
   /// Counters for this thread's arena; used by tests to prove recycling.
   struct Stats {

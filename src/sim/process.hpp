@@ -31,6 +31,9 @@ class [[nodiscard]] Process {
     /// destroyed by ~Process).
     void* engine = nullptr;
     void (*on_done)(void* engine, Handle h) noexcept = nullptr;
+    /// Owning shard on a sharded engine (0 otherwise); set by Engine::spawn
+    /// so the completion hook can unlink from the right live list.
+    int shard = 0;
     promise_type* prev_live = nullptr;
     promise_type* next_live = nullptr;
 

@@ -36,6 +36,7 @@ const CorpusEntry kCorpus[] = {
     {"hotpath-alloc", "src/sim/corpus_hotpath_alloc.cpp", "cpp"},
     {"recorder-guard", "src/core/corpus_recorder_guard.cpp", "cpp"},
     {"layer-order", "src/sim/corpus_layer_order.cpp", "cpp"},
+    {"shard-isolation", "src/core/corpus_shard_isolation.cpp", "cpp"},
     {"include-hygiene", "src/sim/corpus_include_hygiene.hpp", "hpp"},
 };
 

@@ -139,6 +139,60 @@ TEST(ExpDeterminism, Figure5BytesIdenticalAcrossThreadCountsUnderActiveQueue) {
   }
 }
 
+TEST(ExpDeterminism, Figure5BytesIdenticalAcrossShardCounts) {
+  // Requesting engine shards must never change merged bytes.  Fig. 5 runs
+  // the shared topology, where sharding is silently declined (a broadcast
+  // domain has zero cross-partition lookahead) — the contract is still that
+  // `--shards=N` is invisible in the output, for every N and thread count.
+  std::string baseline;
+  for (const char* shards : {"--shards=1", "--shards=2", "--shards=4"}) {
+    const char* argv[] = {"exp_determinism_test", "--figure=5", "--seeds=2", shards};
+    const dlb::support::Cli cli(4, argv);
+    const auto grid = dlb::exp::parse_grid(cli);
+    for (const int threads : {1, 2}) {
+      RunnerOptions options;
+      options.threads = threads;
+      const auto csv = csv_of(Runner(options).run(grid));
+      ASSERT_FALSE(csv.empty());
+      if (baseline.empty()) {
+        baseline = csv;
+      } else {
+        EXPECT_EQ(baseline, csv)
+            << "fig5 CSV diverged at " << shards << ", " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ExpDeterminism, SwitchedBytesIdenticalAcrossShardAndThreadCounts) {
+  // The sharded engine actually engages here: switched topology, 4 racks of
+  // 2, so --shards=2 and --shards=4 run real conservative windows with
+  // cross-shard ingress traffic.  Merged bytes must be a function of the
+  // grid alone — identical for shards 1/2/4 at runner threads 1/2/8, where
+  // the sharded cells additionally run their windows on pool workers via
+  // PoolShardExecutor.
+  std::string baseline;
+  for (const char* shards : {"--shards=1", "--shards=2", "--shards=4"}) {
+    const char* argv[] = {"exp_determinism_test", "--app=mxm",  "--procs=8",
+                          "--strategies=all",     "--seeds=2",  "--topology=switched",
+                          "--rack-size=2",        shards};
+    const dlb::support::Cli cli(8, argv);
+    const auto grid = dlb::exp::parse_grid(cli);
+    for (const int threads : {1, 2, 8}) {
+      RunnerOptions options;
+      options.threads = threads;
+      const auto csv = csv_of(Runner(options).run(grid));
+      ASSERT_FALSE(csv.empty());
+      if (baseline.empty()) {
+        baseline = csv;
+      } else {
+        EXPECT_EQ(baseline, csv)
+            << "switched CSV diverged at " << shards << ", " << threads << " threads";
+      }
+    }
+  }
+}
+
 TEST(ExpDeterminism, ActiveEventQueueIsTheConfiguredOne) {
   // Pins the CMake plumbing: DLB_EVENT_QUEUE=heap must actually rebuild the
   // engine on the reference heap, and the default must be the calendar.

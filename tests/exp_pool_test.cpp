@@ -74,6 +74,46 @@ TEST(ExpPool, SubmitFromWorkerThread) {
   EXPECT_EQ(count.load(), 16);
 }
 
+TEST(ExpPool, RunBatchRunsEachIndexExactlyOnce) {
+  Pool pool(4);
+  constexpr std::size_t kCount = 100;  // more indexes than workers
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  pool.run_batch(kCount, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExpPool, RunBatchOnWidthOnePoolRunsInline) {
+  Pool pool(1);
+  std::vector<int> order;  // inline execution: no synchronization needed
+  pool.run_batch(5, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExpPool, RunBatchZeroAndOneShortCircuit) {
+  Pool pool(2);
+  int calls = 0;
+  pool.run_batch(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.run_batch(1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExpPool, NestedRunBatchFromWorkerTasksCompletes) {
+  // A sharded cell inside a parallel sweep: pool tasks themselves call
+  // run_batch.  Claim-and-help means the callers make progress even when
+  // every worker is blocked inside a batch — this must not deadlock.
+  Pool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&pool, &count] {
+      pool.run_batch(8, [&count](std::size_t) { count.fetch_add(1); });
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(ExpPool, TasksSpreadAcrossThreadsWhenParallel) {
   // With several workers and blocking-free tasks, at least one thread id
   // beyond the submitter's must appear (work actually leaves this thread).

@@ -1,0 +1,20 @@
+// Linted as src/core/corpus_shard_isolation.cpp: protocol code must not
+// inject events or messages across shard boundaries by hand — the network's
+// ingress channel is the only sanctioned crossing.
+
+namespace dlb::core {
+
+struct FakeMailbox {
+  void deliver(int) {}
+};
+
+struct FakeEngine {
+  void schedule_ingress(int, long, unsigned long) {}
+};
+
+void smuggle(FakeEngine& engine, FakeMailbox& peer_box) {
+  engine.schedule_ingress(1, 500, 7);
+  peer_box.deliver(42);
+}
+
+}  // namespace dlb::core

@@ -1,0 +1,13 @@
+// Linted as src/core/corpus_shard_isolation.cpp: the sanctioned path sends
+// through the network, which owns the ingress channel (and with it the
+// canonical cross-shard ordering key and the cut-through lookahead).
+
+namespace dlb::core {
+
+struct FakeNetwork {
+  void send(int to, int tag, int payload) { (void)to, (void)tag, (void)payload; }
+};
+
+void communicate(FakeNetwork& network) { network.send(1, 3, 42); }
+
+}  // namespace dlb::core

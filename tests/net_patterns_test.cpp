@@ -78,6 +78,47 @@ TEST(PatternCost, Deterministic) {
   EXPECT_DOUBLE_EQ(a, b);
 }
 
+TEST(PatternCost, AnalyticAllToAllMatchesSimulationExactly) {
+  // The closed form must be bit-equal to the simulated exchange for every
+  // size below the routing threshold — it is the same cost model, folded.
+  const EthernetParams params;
+  for (int procs = 2; procs <= dlb::net::kAnalyticAllToAllThreshold; ++procs) {
+    for (const std::size_t bytes : {std::size_t{64}, std::size_t{1500}, std::size_t{65536}}) {
+      const double simulated = measure_pattern(Pattern::kAllToAll, procs, bytes, params);
+      const double analytic = dlb::net::alltoall_analytic(procs, bytes, params);
+      ASSERT_EQ(simulated, analytic) << "procs=" << procs << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(PatternCost, AnalyticAllToAllMatchesUnderSkewedParams) {
+  // Exercise both regimes of B_j = max(j*o_s, F_{j-1}): senders limited
+  // (huge o_s) and medium limited (tiny o_s, fat frames).
+  EthernetParams sender_bound;
+  sender_bound.sender_overhead = dlb::sim::from_micros(10'000.0);
+  EthernetParams medium_bound;
+  medium_bound.sender_overhead = dlb::sim::from_micros(10.0);
+  medium_bound.receiver_overhead = dlb::sim::from_micros(5.0);
+  for (const auto& params : {sender_bound, medium_bound}) {
+    for (const int procs : {2, 3, 5, 16, 33, 64}) {
+      const double simulated = measure_pattern(Pattern::kAllToAll, procs, 4096, params);
+      const double analytic = dlb::net::alltoall_analytic(procs, 4096, params);
+      ASSERT_EQ(simulated, analytic) << "procs=" << procs;
+    }
+  }
+}
+
+TEST(PatternCost, LargeAllToAllRoutesToClosedForm) {
+  // Above the threshold the call must stay cheap (no O(P^2) event storm)
+  // and continuous with the simulated regime at the boundary.
+  const EthernetParams params;
+  const double at_boundary = measure_pattern(Pattern::kAllToAll, 64, 64, params);
+  const double above = measure_pattern(Pattern::kAllToAll, 65, 64, params);
+  const double huge = measure_pattern(Pattern::kAllToAll, 4096, 64, params);
+  EXPECT_GT(above, at_boundary);
+  EXPECT_GT(huge, above);
+}
+
 TEST(PatternName, Names) {
   EXPECT_EQ(std::string(pattern_name(Pattern::kOneToAll)), "one-to-all");
   EXPECT_EQ(std::string(pattern_name(Pattern::kAllToOne)), "all-to-one");

@@ -292,6 +292,42 @@ void rule_layer_order(const FileUnit& u, const Project&, std::vector<Diagnostic>
   }
 }
 
+// ---- shard-isolation -----------------------------------------------------
+
+/// Modules that run on top of the cluster/network stack.  On a sharded
+/// engine every cross-shard interaction must ride the network's ingress
+/// channel (net::Network -> Engine::schedule_ingress), which stamps the
+/// canonical ordering key and respects the cut-through lookahead.  The emu
+/// module is deliberately absent: its EmuChannel::deliver is a separate
+/// host-thread runtime with no engine shards.
+bool shard_isolated_module(const std::string& module) {
+  static const std::set<std::string> kModules = {"core", "cluster", "fault", "sched",
+                                                 "apps", "exp",     "model", "decision"};
+  return kModules.count(module) != 0;
+}
+
+void rule_shard_isolation(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+  if (!shard_isolated_module(module_of(u.path))) return;
+  const std::vector<Token>& sig = u.sig;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "schedule_ingress") {
+      out.push_back({u.path, t.line, "shard-isolation",
+                     "'schedule_ingress' outside src/sim and src/net; cross-shard events are "
+                     "injected only through the network's ingress channel, which stamps the "
+                     "canonical key and keeps the conservative lookahead sound"});
+    } else if (t.text == "deliver" && i > 0 &&
+               (sig[i - 1].text == "." || sig[i - 1].text == "->") && i + 1 < sig.size() &&
+               sig[i + 1].text == "(") {
+      out.push_back({u.path, t.line, "shard-isolation",
+                     "direct 'deliver(...)' into a mailbox bypasses the network send path; on a "
+                     "sharded engine it can write into another shard's window — send through "
+                     "net::Network instead"});
+    }
+  }
+}
+
 // ---- include-hygiene -----------------------------------------------------
 
 struct StdSymbol {
@@ -409,6 +445,9 @@ void register_layer_rules(std::vector<Rule>& rules) {
   rules.push_back({"layer-order", "layering",
                    "module includes must respect the link-dependency closure",
                    &rule_layer_order});
+  rules.push_back({"shard-isolation", "layering",
+                   "cross-shard mailbox/queue access only via the network ingress channel",
+                   &rule_shard_isolation});
   rules.push_back({"include-hygiene", "hygiene",
                    "headers must directly include the home header of std symbols they use",
                    &rule_include_hygiene});
