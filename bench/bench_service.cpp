@@ -1,0 +1,93 @@
+// Service-mode benchmark (google-benchmark): admission throughput (jobs per
+// wall second) and the deterministic p99 sojourn for one open-stream cell at
+// rho in {0.5, 0.9} for each strategy, including online re-customization.
+//
+// The model backend prices every admission from the memoized prediction
+// table, so the wall cost under measurement is the service loop itself —
+// arrival generation, hysteresis re-ranking and SLA accounting — not the
+// predictor.  The p99 counter is a virtual-time result: bit-stable across
+// machines and thread counts, so a drift in it is a behavior change, while
+// jobs_per_second is host performance.
+//
+// Regenerate the committed baseline with:
+//   ./build-release/bench/bench_service
+//     --benchmark_out=BENCH_service.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "core/types.hpp"
+#include "net/characterize.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+constexpr std::uint64_t kJobs = 200'000;
+constexpr double kRhos[] = {0.5, 0.9};
+// Strategy axis: the four ranked schemes, NoDLB, then online (slot 5).
+constexpr int kOnlineSlot = 5;
+
+const dlb::net::CollectiveCosts& costs() {
+  static const dlb::net::CollectiveCosts value =
+      dlb::net::characterize(dlb::net::EthernetParams{}, 16).costs;
+  return value;
+}
+
+dlb::cluster::ClusterParams cluster_params() {
+  dlb::cluster::ClusterParams p;
+  p.procs = 16;
+  p.external_load = true;
+  p.seed = 1;
+  return p;
+}
+
+const char* slot_label(int slot) {
+  if (slot == kOnlineSlot) return "online";
+  if (slot == 4) return "NoDLB";
+  return dlb::core::strategy_name(dlb::core::ranked_strategy(slot));
+}
+
+void BM_ServiceCell(benchmark::State& state) {
+  const double rho = kRhos[static_cast<std::size_t>(state.range(0))];
+  const int slot = static_cast<int>(state.range(1));
+
+  dlb::svc::ServiceParams params;
+  params.jobs = kJobs;
+  params.rho = rho;
+  if (slot == kOnlineSlot) {
+    params.online = true;
+  } else if (slot == 4) {
+    params.strategy = dlb::core::Strategy::kNoDlb;
+  } else {
+    params.strategy = dlb::core::ranked_strategy(slot);
+  }
+
+  dlb::svc::ServiceReport report;
+  for (auto _ : state) {
+    report = dlb::svc::run_service(cluster_params(), dlb::core::DlbConfig{}, params, costs());
+    benchmark::DoNotOptimize(report);
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(kJobs) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["rho"] = rho;
+  state.counters["p99_sojourn_seconds"] = report.p99_sojourn_seconds;
+  state.counters["p50_sojourn_seconds"] = report.p50_sojourn_seconds;
+  state.counters["utilization"] = report.utilization;
+  state.counters["strategy_switches"] = static_cast<double>(report.strategy_switches);
+  state.SetLabel(slot_label(slot));
+}
+
+void ServiceGrid(benchmark::internal::Benchmark* b) {
+  for (int rho_i = 0; rho_i < 2; ++rho_i) {
+    for (int slot = 0; slot <= kOnlineSlot; ++slot) b->Args({rho_i, slot});
+  }
+}
+
+BENCHMARK(BM_ServiceCell)->Apply(ServiceGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#include "core/stream_runtime.hpp"
+
+#include <stdexcept>
+
+#include "core/protocol.hpp"
+
+namespace dlb::core {
+
+StreamRuntime::StreamRuntime(cluster::Cluster& cluster, DlbConfig base_config)
+    : cluster_(cluster), engine_(cluster.engine()), base_config_(base_config) {
+  if (cluster_.engine().is_sharded()) {
+    throw std::invalid_argument(
+        "StreamRuntime: service mode requires an unsharded engine (run with --shards=1)");
+  }
+  if (base_config_.observe || base_config_.record_trace || base_config_.faults.armed()) {
+    throw std::invalid_argument(
+        "StreamRuntime: observability, tracing and fault injection assume one loop per engine "
+        "lifetime and are not available in service mode");
+  }
+  base_config_.strategy = Strategy::kNoDlb;  // placeholder; run_loop sets the real one
+  base_config_.validate(cluster_.size());
+}
+
+void StreamRuntime::advance_to(sim::SimTime at) {
+  auto& engine = cluster_.engine();
+  if (at <= engine.now()) return;
+  // A scheduled no-op is the idle clock tick: run() pops it and leaves the
+  // engine parked at exactly `at` with an empty queue.
+  engine.schedule_at(at, [] {});
+  engine.run();
+}
+
+LoopRunStats StreamRuntime::run_loop(const LoopDescriptor& loop, Strategy strategy) {
+  if (strategy == Strategy::kAuto) {
+    throw std::invalid_argument(
+        "StreamRuntime: Strategy::kAuto is resolved by the online selector before admission");
+  }
+  DlbConfig config = base_config_;
+  config.strategy = strategy;
+
+  LoopContext ctx = LoopContext::make(loop, config, cluster_);
+  auto& engine = cluster_.engine();
+  if (strategy == Strategy::kNoDlb) {
+    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(static_slave(ctx, p));
+  } else {
+    if (ctx.centralized) engine.spawn(central_balancer(ctx));
+    for (int p = 0; p < cluster_.size(); ++p) engine.spawn(dlb_slave(ctx, p));
+  }
+  engine.run();
+
+  LoopRunStats stats = std::move(ctx.stats);
+  stats.finish_seconds = sim::to_seconds(engine.now());
+  stats.executed_per_proc = ctx.executed;
+  stats.finish_per_proc.reserve(ctx.finished_at.size());
+  for (const auto t : ctx.finished_at) stats.finish_per_proc.push_back(sim::to_seconds(t));
+  stats.syncs = static_cast<int>(stats.events.size());
+  for (const auto& e : stats.events) {
+    if (e.redistributed) ++stats.redistributions;
+    stats.iterations_moved += e.iterations_moved;
+  }
+
+  std::int64_t executed_total = 0;
+  for (const auto n : stats.executed_per_proc) executed_total += n;
+  if (executed_total != loop.iterations) {
+    throw std::logic_error("StreamRuntime: iterations executed != iterations scheduled");
+  }
+  ++loops_run_;
+  return stats;
+}
+
+}  // namespace dlb::core

@@ -3,6 +3,11 @@
 //
 //   ./dlb_sweep --figure=5                 # the paper's Fig. 5 grid (MXM, P=4)
 //   ./dlb_sweep --figure=scale             # weak-scaling: strategy x P x topology
+//   ./dlb_sweep --figure=service           # open stream: latency vs rho x
+//               strategy x arrival shape, with the service flag family
+//               [--arrivals=poisson,bursty,trace:<path>] [--rate=0.3,...]
+//               [--jobs=1000000] [--hysteresis=0.05,3] [--load-variants=8]
+//               [--mix=default|hetero] [--service-backend=model|sim]
 //   ./dlb_sweep --app=mxm,trfd --procs=4,16 --strategies=all --seeds=3
 //               [--tl=2,16] [--max-load=5] [--seed0=1000] [--loop=-1]
 //               [--threads=0] [--format=summary|csv|json] [--timing]
@@ -38,10 +43,15 @@ int main(int argc, char** argv) {
     cli.reject_unknown({"figure", "app", "procs", "strategies", "tl", "max-load", "seeds",
                         "seed0", "loop", "threads", "format", "timing", "faults", "R", "C",
                         "R2", "n", "iters", "ops", "bytes", "trace-out", "metrics",
-                        "topology", "rack-size", "shards", "iters-per-proc"});
+                        "topology", "rack-size", "shards", "iters-per-proc", "arrivals",
+                        "rate", "jobs", "hysteresis", "load-variants", "mix",
+                        "service-backend"});
     auto grid = exp::parse_grid(cli);
 
     const auto trace_dir = cli.get("trace-out", "");
+    if (!trace_dir.empty() && grid.service.armed) {
+      throw std::invalid_argument("dlb_sweep: --trace-out is not available in service mode");
+    }
     if (!trace_dir.empty()) {
       // A Chrome trace wants both layers: activity segments for the solid
       // track and the recorder for phases, flows, marks and counters.
@@ -69,13 +79,17 @@ int main(int argc, char** argv) {
     // topology, so pre-existing shared-only sweeps stay byte-identical.
     report.include_topology = grid.topologies.size() > 1 ||
                               grid.topologies[0] != net::TopologyKind::kShared;
+    // Same non-default rule for the service columns: they appear iff the
+    // grid is armed, so disarmed sweeps (fig5-8) stay byte-identical.
+    report.include_service = grid.service.armed;
     const auto format = cli.get("format", "summary");
     if (format == "csv") {
       exp::write_csv(std::cout, sweep, report);
     } else if (format == "json") {
       exp::write_json(std::cout, sweep, report);
     } else if (format == "summary") {
-      exp::write_summary(std::cout, sweep, grid.seeds, report.include_topology);
+      exp::write_summary(std::cout, sweep, grid.seeds, report.include_topology,
+                         report.include_service);
     } else {
       throw std::invalid_argument("dlb_sweep: --format must be summary, csv or json");
     }

@@ -93,8 +93,11 @@ core::Strategy strategy_from_label(const std::string& label) {
   if (label == "gd") return core::Strategy::kGDDLB;
   if (label == "lc") return core::Strategy::kLCDLB;
   if (label == "ld") return core::Strategy::kLDDLB;
+  // Online re-customization; only valid on a service grid (validate()
+  // rejects kAuto anywhere else).
+  if (label == "online") return core::Strategy::kAuto;
   throw std::invalid_argument("parse_strategies: unknown strategy '" + label +
-                              "' (expected nodlb|gc|gd|lc|ld)");
+                              "' (expected nodlb|gc|gd|lc|ld|online)");
 }
 
 }  // namespace
@@ -111,23 +114,52 @@ void ExperimentGrid::validate() const {
     if (p <= 0) throw std::invalid_argument("ExperimentGrid: procs must be positive");
   }
   for (const auto s : strategies) {
-    if (s == core::Strategy::kAuto) {
+    if (s == core::Strategy::kAuto && !service.armed) {
       throw std::invalid_argument(
-          "ExperimentGrid: Strategy::kAuto is resolved by decision::Selector, not swept");
+          "ExperimentGrid: Strategy::kAuto is resolved by decision::Selector, not swept "
+          "(the 'online' strategy label requires a service grid)");
+    }
+  }
+  if (service.armed) {
+    if (service.arrivals.empty()) {
+      throw std::invalid_argument("ExperimentGrid: service mode needs an arrival axis");
+    }
+    for (const auto& a : service.arrivals) a.validate();
+    if (service.rhos.empty()) {
+      throw std::invalid_argument("ExperimentGrid: service mode needs an offered-load axis");
+    }
+    for (const auto rho : service.rhos) {
+      if (!(rho > 0.0) || !(rho <= 1.25)) {
+        throw std::invalid_argument("ExperimentGrid: --rate values must be in (0, 1.25]");
+      }
+    }
+    if (service.jobs < 1) throw std::invalid_argument("ExperimentGrid: --jobs must be >= 1");
+    service.mix.validate();
+    service.hysteresis.validate();
+    if (config.faults.armed()) {
+      throw std::invalid_argument("ExperimentGrid: service mode does not support fault plans");
+    }
+    if (config.record_trace) {
+      throw std::invalid_argument("ExperimentGrid: service mode does not record traces");
+    }
+    if (loop_index >= 0) {
+      throw std::invalid_argument("ExperimentGrid: service mode admits whole jobs, not --loop");
     }
   }
 }
 
 std::size_t ExperimentGrid::cell_count() const noexcept {
-  return apps.size() * procs.size() * topologies.size() * tl_points() * max_loads.size() *
-         strategies.size() * static_cast<std::size_t>(seeds);
+  return apps.size() * procs.size() * topologies.size() * arrival_points() * rho_points() *
+         tl_points() * max_loads.size() * strategies.size() * static_cast<std::size_t>(seeds);
 }
 
 CellSpec ExperimentGrid::cell(std::size_t index) const {
   if (index >= cell_count()) throw std::out_of_range("ExperimentGrid::cell: index");
 
-  // Row-major decode: app, procs, topology, tl, max_load, strategy, seed
-  // (innermost).
+  // Row-major decode: app, procs, topology, arrivals, rho, tl, max_load,
+  // strategy, seed (innermost).  The service axes sit between topology and
+  // tl; disarmed they have size 1 and divide out, keeping every
+  // pre-service index.
   CellSpec c;
   c.index = index;
   std::size_t rest = index;
@@ -139,6 +171,10 @@ CellSpec ExperimentGrid::cell(std::size_t index) const {
   rest /= max_loads.size();
   c.tl_i = rest % tl_points();
   rest /= tl_points();
+  c.rho_i = rest % rho_points();
+  rest /= rho_points();
+  c.arr_i = rest % arrival_points();
+  rest /= arrival_points();
   c.topo_i = rest % topologies.size();
   rest /= topologies.size();
   c.proc_i = rest % procs.size();
@@ -165,6 +201,22 @@ CellSpec ExperimentGrid::cell(std::size_t index) const {
     c.app_override = apps::make_uniform(
         static_cast<std::int64_t>(spec.weak_iters_per_proc) * c.params.procs,
         spec.weak_ops_per_iteration, spec.weak_bytes_per_iteration);
+  }
+  if (service.armed) {
+    svc::ServiceParams sp;
+    sp.jobs = service.jobs;
+    sp.rho = service.rhos[c.rho_i];
+    sp.arrival = service.arrivals[c.arr_i];
+    sp.mix = service.mix;
+    sp.load_variants = service.load_variants;
+    sp.hysteresis = service.hysteresis;
+    sp.backend = service.backend;
+    if (c.config.strategy == core::Strategy::kAuto) {
+      sp.online = true;
+    } else {
+      sp.strategy = c.config.strategy;
+    }
+    c.service = std::move(sp);
   }
   return c;
 }
@@ -260,7 +312,7 @@ ExperimentGrid figure_grid(int figure, const support::Cli& cli) {
       break;
     }
     default:
-      throw std::invalid_argument("parse_grid: --figure must be 5, 6, 7, 8 or scale");
+      throw std::invalid_argument("parse_grid: --figure must be 5, 6, 7, 8, scale or service");
   }
   grid.seeds = static_cast<int>(cli.get_int("seeds", 3));
   grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
@@ -303,11 +355,91 @@ ExperimentGrid scale_grid(const support::Cli& cli) {
   return grid;
 }
 
+/// Service flags are only meaningful on the service preset; anywhere else a
+/// stray --arrivals would silently run a conventional sweep.
+constexpr const char* kServiceFlags[] = {"arrivals", "rate",           "jobs", "hysteresis",
+                                         "load-variants", "mix", "service-backend"};
+
+void reject_service_flags(const support::Cli& cli) {
+  for (const char* flag : kServiceFlags) {
+    if (cli.has(flag)) {
+      throw std::invalid_argument(std::string("parse_grid: --") + flag +
+                                  " requires --figure=service");
+    }
+  }
+}
+
+/// Applies the service flag family to the armed preset grid.
+void apply_service_flags(ExperimentGrid& grid, const support::Cli& cli) {
+  auto& service = grid.service;
+  service.armed = true;
+  service.arrivals.clear();
+  for (const auto& spec : split_commas(cli.get("arrivals", "poisson,bursty"))) {
+    service.arrivals.push_back(svc::parse_arrival_spec(spec));
+  }
+  service.rhos.clear();
+  for (const auto& rho : split_commas(cli.get("rate", "0.3,0.5,0.7,0.8,0.9,0.95"))) {
+    service.rhos.push_back(strict_double(rho, "rate"));
+  }
+  service.jobs = static_cast<std::uint64_t>(cli.get_int("jobs", 1'000'000));
+  const auto hysteresis = split_commas(cli.get("hysteresis", "0.05,3"));
+  if (hysteresis.size() != 2) {
+    throw std::invalid_argument("parse_grid: --hysteresis wants <margin>,<k>");
+  }
+  service.hysteresis.margin = strict_double(hysteresis[0], "hysteresis");
+  service.hysteresis.k = strict_int(hysteresis[1], "hysteresis");
+  service.load_variants = static_cast<int>(cli.get_int("load-variants", 8));
+  service.mix = svc::JobMix::builtin(cli.get("mix", "default"));
+  const auto backend = cli.get("service-backend", "model");
+  if (backend == "model") {
+    service.backend = svc::ServiceBackend::kModel;
+  } else if (backend == "sim") {
+    service.backend = svc::ServiceBackend::kSim;
+  } else {
+    throw std::invalid_argument("parse_grid: --service-backend must be model or sim");
+  }
+}
+
+/// --figure=service: the open-stream grid latency vs. offered load rho x
+/// strategy x arrival shape.  One placeholder app row names the job mix;
+/// every cell admits >= --jobs loop jobs over virtual time through the
+/// service layer instead of running one loop.
+ExperimentGrid service_grid(const support::Cli& cli) {
+  ExperimentGrid grid;
+  grid.strategies = parse_strategies(cli.get("strategies", "gc,gd,lc,ld,online"));
+  grid.procs.clear();
+  for (const auto& p : split_commas(cli.get("procs", "16"))) {
+    grid.procs.push_back(strict_int(p, "procs"));
+  }
+  apply_service_flags(grid, cli);
+
+  AppSpec spec;
+  // Placeholder descriptor for validate(); service cells admit per-class
+  // loops from the mix, not this app.
+  spec.app = apps::make_uniform(64, 100e3, 64.0);
+  spec.name = "svc[" + grid.service.mix.name + "]";
+  spec.base_ops_per_sec = 20e6;
+  spec.default_tl_seconds = grid.service.mix.classes.front().tl_seconds;
+  grid.apps.push_back(std::move(spec));
+
+  grid.seeds = static_cast<int>(cli.get_int("seeds", 1));
+  grid.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1000));
+  return grid;
+}
+
 }  // namespace
 
 ExperimentGrid parse_grid(const support::Cli& cli) {
   if (cli.has("figure")) {
     const auto figure = cli.get("figure", "5");
+    if (figure == "service") {
+      auto grid = service_grid(cli);
+      apply_topology(grid, cli);
+      apply_faults(grid, cli);
+      grid.validate();
+      return grid;
+    }
+    reject_service_flags(cli);
     auto grid = figure == "scale" ? scale_grid(cli)
                                   : figure_grid(strict_int(figure, "figure"), cli);
     apply_topology(grid, cli);
@@ -315,6 +447,7 @@ ExperimentGrid parse_grid(const support::Cli& cli) {
     grid.validate();
     return grid;
   }
+  reject_service_flags(cli);
 
   ExperimentGrid grid;
   for (const auto& name : split_commas(cli.get("app", "mxm"))) {

@@ -9,6 +9,7 @@
 #include "cluster/cluster.hpp"
 #include "core/types.hpp"
 #include "support/cli.hpp"
+#include "svc/service.hpp"
 
 namespace dlb::exp {
 
@@ -37,7 +38,8 @@ struct AppSpec {
 /// other cells, so a cell can execute on any thread.
 struct CellSpec {
   std::size_t index = 0;  // canonical (row-major) grid index
-  std::size_t app_i = 0, proc_i = 0, topo_i = 0, tl_i = 0, load_i = 0, strat_i = 0, seed_i = 0;
+  std::size_t app_i = 0, proc_i = 0, topo_i = 0, arr_i = 0, rho_i = 0, tl_i = 0, load_i = 0,
+              strat_i = 0, seed_i = 0;
   std::string app_name;
   cluster::ClusterParams params;  // procs/rate/topology/tl/m_l/seed all resolved
   core::DlbConfig config;         // strategy resolved
@@ -46,7 +48,29 @@ struct CellSpec {
   /// Set when the app spec weak-scales (see AppSpec): the descriptor the
   /// cell actually runs, sized for this cell's processor count.
   std::optional<core::AppDescriptor> app_override;
+  /// Set when the grid runs in service mode: the fully resolved open-stream
+  /// parameters for this cell (arrival shape, offered load, strategy or
+  /// online re-customization).  The runner dispatches to svc::run_service
+  /// instead of building a Runtime.
+  std::optional<svc::ServiceParams> service;
   [[nodiscard]] std::uint64_t seed() const noexcept { return params.seed; }
+};
+
+/// Service-mode axes and knobs of a grid.  Disarmed (the default), the
+/// arrival and offered-load axes have size 1 and divide out of the
+/// row-major decode, so every pre-service grid keeps its canonical cell
+/// indices — the fig5-8 byte-identity guarantee.
+struct ServiceGridConfig {
+  bool armed = false;
+  /// Arrival-shape axis (between topology and tl in the row-major order).
+  std::vector<svc::ArrivalSpec> arrivals{svc::ArrivalSpec{}};
+  /// Offered-load axis rho (inside arrivals, outside tl).
+  std::vector<double> rhos{0.7};
+  std::uint64_t jobs = 1'000'000;
+  svc::JobMix mix = svc::JobMix::builtin("default");
+  int load_variants = 8;
+  decision::HysteresisConfig hysteresis;
+  svc::ServiceBackend backend = svc::ServiceBackend::kModel;
 };
 
 /// The cross product strategy x app x cluster size x load parameters x
@@ -75,6 +99,8 @@ struct ExperimentGrid {
   core::DlbConfig config;
   /// -1 runs the whole application, >= 0 a single loop (per-loop rankings).
   int loop_index = -1;
+  /// Service mode (open job stream); see ServiceGridConfig.
+  ServiceGridConfig service;
 
   void validate() const;
   [[nodiscard]] std::size_t cell_count() const noexcept;
@@ -83,6 +109,13 @@ struct ExperimentGrid {
   /// Number of points on the effective tl axis (>= 1).
   [[nodiscard]] std::size_t tl_points() const noexcept {
     return tl_seconds.empty() ? 1 : tl_seconds.size();
+  }
+  /// Sizes of the service axes; 1 while disarmed so the decode is unchanged.
+  [[nodiscard]] std::size_t arrival_points() const noexcept {
+    return service.armed ? service.arrivals.size() : 1;
+  }
+  [[nodiscard]] std::size_t rho_points() const noexcept {
+    return service.armed ? service.rhos.size() : 1;
   }
 };
 
@@ -106,12 +139,24 @@ struct ExperimentGrid {
 ///   --faults=none|crash-half|crash-coord|crash-two|revoke-half|loss10|crash-loss
 ///     arms a fault preset on every cell; NoDLB is dropped from the strategy
 ///     axis when armed (it has no recovery path).
+///   --figure=service presets the open-stream service grid: latency vs.
+///     offered load rho x strategy x arrival shape (defaults procs=16,
+///     strategies=gc,gd,lc,ld,online, --arrivals=poisson,bursty,
+///     --rate=0.3,0.5,0.7,0.8,0.9,0.95, --jobs=1000000, seeds=1).  The
+///     service flag family refines it:
+///       --arrivals=poisson,bursty,trace:<path>   (arrival-shape axis)
+///       --rate=0.3,0.9                           (offered-load axis rho)
+///       --jobs=N --hysteresis=<margin>,<k> --load-variants=N
+///       --mix=default|hetero --service-backend=model|sim
+///     Service flags outside --figure=service are rejected.
 /// Throws std::invalid_argument on unknown app, strategy or fault names.
 [[nodiscard]] ExperimentGrid parse_grid(const support::Cli& cli);
 
 /// Strategy list from a comma-separated spec of short labels
 /// ("nodlb,gc,gd,lc,ld"), "all" (the five figure schemes, NoDLB first) or
-/// "ranked" (the four ranked DLB schemes).
+/// "ranked" (the four ranked DLB schemes).  "online" (service grids only)
+/// maps to Strategy::kAuto, meaning online re-customization with
+/// hysteresis instead of one fixed strategy.
 [[nodiscard]] std::vector<core::Strategy> parse_strategies(const std::string& spec);
 
 }  // namespace dlb::exp

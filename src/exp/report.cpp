@@ -13,8 +13,9 @@ namespace dlb::exp {
 
 namespace {
 
-// 12 fixed columns plus the optional fault, metric and wall_seconds ones.
-constexpr std::size_t kMaxColumns = 21;
+// 12 fixed columns plus the optional service, fault, metric and
+// wall_seconds ones.
+constexpr std::size_t kMaxColumns = 34;
 
 /// Canonical metric column set: the union of metric names over all cells,
 /// sorted (snapshots are already name-sorted, so a std::map union keeps the
@@ -31,15 +32,30 @@ std::vector<std::string> metric_columns(const SweepResult& sweep) {
   return out;
 }
 
+/// Service cells under online re-customization carry Strategy::kAuto; the
+/// canonical label for that mode is "online", not the selector's "Auto".
+std::string strategy_label(const CellResult& c) {
+  if (c.spec.service && c.spec.config.strategy == core::Strategy::kAuto) return "online";
+  return std::string(core::strategy_name(c.spec.config.strategy));
+}
+
 std::vector<std::string> header_row(const ReportOptions& options,
                                     const std::vector<std::string>& metrics) {
   std::vector<std::string> h;
   h.reserve(kMaxColumns + metrics.size());
   h.insert(h.end(), {"app", "procs"});
   if (options.include_topology) h.push_back("topology");
+  if (options.include_service) h.insert(h.end(), {"arrivals", "rate"});
   h.insert(h.end(), {"strategy", "tl_seconds",
                      "max_load", "seed", "exec_seconds",    "syncs",
                      "redistributions", "iterations_moved", "messages", "bytes"});
+  if (options.include_service) {
+    h.insert(h.end(),
+             {"jobs", "rate_jobs_per_sec", "throughput_jobs_per_sec", "utilization",
+              "p50_sojourn_seconds", "p99_sojourn_seconds", "p999_sojourn_seconds",
+              "mean_sojourn_seconds", "mean_service_seconds", "mean_wait_seconds",
+              "strategy_switches"});
+  }
   if (options.include_faults) {
     h.insert(h.end(), {"faults", "crashes", "revocations", "rejoins", "dropped_frames",
                        "retries", "recoveries", "iterations_recovered"});
@@ -60,8 +76,13 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
   if (options.include_topology) {
     row.push_back(net::topology_name(c.spec.params.topology));
   }
+  if (options.include_service) {
+    const auto& sp = c.spec.service;
+    row.push_back(sp ? sp->arrival.label : "none");
+    row.push_back(fmt_exact(sp ? sp->rho : 0.0));
+  }
   row.insert(row.end(), {
-      std::string(core::strategy_name(c.spec.config.strategy)),
+      strategy_label(c),
       fmt_exact(c.spec.tl_seconds),
       std::to_string(c.spec.params.load.max_load),
       std::to_string(c.spec.seed()),
@@ -72,6 +93,23 @@ std::vector<std::string> cell_row(const CellResult& c, const ReportOptions& opti
       std::to_string(c.result.messages),
       std::to_string(c.result.bytes),
   });
+  if (options.include_service) {
+    const svc::ServiceReport empty{};
+    const auto& r = c.service ? *c.service : empty;
+    row.insert(row.end(), {
+        std::to_string(r.jobs),
+        fmt_exact(r.rate_jobs_per_sec),
+        fmt_exact(r.throughput_jobs_per_sec),
+        fmt_exact(r.utilization),
+        fmt_exact(r.p50_sojourn_seconds),
+        fmt_exact(r.p99_sojourn_seconds),
+        fmt_exact(r.p999_sojourn_seconds),
+        fmt_exact(r.mean_sojourn_seconds),
+        fmt_exact(r.mean_service_seconds),
+        fmt_exact(r.mean_wait_seconds),
+        std::to_string(r.strategy_switches),
+    });
+  }
   if (options.include_faults) {
     const auto& f = c.result.faults;
     row.insert(row.end(), {
@@ -128,10 +166,11 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
     line.clear();
     line += "  {";
     for (std::size_t k = 0; k < header.size(); ++k) {
-      // Numeric columns are every one except app, topology, strategy and
-      // the fault preset name.
+      // Numeric columns are every one except app, topology, arrivals,
+      // strategy and the fault preset name.
       const bool quoted = header[k] == "app" || header[k] == "topology" ||
-                          header[k] == "strategy" || header[k] == "faults";
+                          header[k] == "arrivals" || header[k] == "strategy" ||
+                          header[k] == "faults";
       if (k) line += ", ";
       line += '"';
       line += header[k];
@@ -154,7 +193,8 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
   os << "]\n";
 }
 
-void write_summary(std::ostream& os, const SweepResult& sweep, int seeds, bool include_topology) {
+void write_summary(std::ostream& os, const SweepResult& sweep, int seeds, bool include_topology,
+                   bool include_service) {
   if (seeds <= 0 || sweep.cells.size() % static_cast<std::size_t>(seeds) != 0) {
     os << "(summary unavailable: cell count not a multiple of seeds)\n";
     return;
@@ -165,12 +205,28 @@ void write_summary(std::ostream& os, const SweepResult& sweep, int seeds, bool i
     table_header.push_back("topology");
     csv_header.push_back("topology");
   }
+  if (include_service) {
+    for (const auto* col : {"arrivals", "rate"}) {
+      table_header.emplace_back(col);
+      csv_header.emplace_back(col);
+    }
+  }
   for (const auto* col : {"strategy", "tl", "m_l", "mean exec [s]", "mean syncs", "mean moved"}) {
     table_header.emplace_back(col);
   }
   for (const auto* col : {"strategy", "tl_seconds", "max_load", "mean_exec_seconds", "mean_syncs",
                           "mean_iterations_moved"}) {
     csv_header.emplace_back(col);
+  }
+  if (include_service) {
+    for (const auto* col : {"p50 [s]", "p99 [s]", "p999 [s]", "jobs/s", "util"}) {
+      table_header.emplace_back(col);
+    }
+    for (const auto* col : {"mean_p50_sojourn_seconds", "mean_p99_sojourn_seconds",
+                            "mean_p999_sojourn_seconds", "mean_throughput_jobs_per_sec",
+                            "mean_utilization"}) {
+      csv_header.emplace_back(col);
+    }
   }
   support::Table table(table_header);
   std::ostringstream csv_buf;
@@ -180,33 +236,67 @@ void write_summary(std::ostream& os, const SweepResult& sweep, int seeds, bool i
   // Seeds are the innermost axis, so each grid point is a contiguous block.
   for (std::size_t base = 0; base < sweep.cells.size(); base += static_cast<std::size_t>(seeds)) {
     double exec = 0.0, syncs = 0.0, moved = 0.0;
+    double p50 = 0.0, p99 = 0.0, p999 = 0.0, throughput = 0.0, util = 0.0;
     for (int s = 0; s < seeds; ++s) {
-      const auto& r = sweep.cells[base + static_cast<std::size_t>(s)].result;
+      const auto& cell = sweep.cells[base + static_cast<std::size_t>(s)];
+      const auto& r = cell.result;
       exec += r.exec_seconds;
       syncs += r.total_syncs();
       moved += static_cast<double>(r.total_iterations_moved());
+      if (cell.service) {
+        p50 += cell.service->p50_sojourn_seconds;
+        p99 += cell.service->p99_sojourn_seconds;
+        p999 += cell.service->p999_sojourn_seconds;
+        throughput += cell.service->throughput_jobs_per_sec;
+        util += cell.service->utilization;
+      }
     }
     exec /= seeds;
     syncs /= seeds;
     moved /= seeds;
-    const auto& spec = sweep.cells[base].spec;
+    p50 /= seeds;
+    p99 /= seeds;
+    p999 /= seeds;
+    throughput /= seeds;
+    util /= seeds;
+    const auto& cell0 = sweep.cells[base];
+    const auto& spec = cell0.spec;
     std::vector<std::string> table_row{spec.app_name, std::to_string(spec.params.procs)};
     std::vector<std::string> csv_row = table_row;
     if (include_topology) {
       table_row.emplace_back(net::topology_name(spec.params.topology));
       csv_row.emplace_back(net::topology_name(spec.params.topology));
     }
+    if (include_service) {
+      const std::string arrivals = spec.service ? spec.service->arrival.label : "none";
+      const std::string rate = fmt_exact(spec.service ? spec.service->rho : 0.0);
+      table_row.push_back(arrivals);
+      table_row.push_back(rate);
+      csv_row.push_back(arrivals);
+      csv_row.push_back(rate);
+    }
     for (auto& value :
-         {std::string(core::strategy_name(spec.config.strategy)),
+         {strategy_label(cell0),
           support::fmt_fixed(spec.tl_seconds, 1), std::to_string(spec.params.load.max_load),
           support::fmt_fixed(exec, 4), support::fmt_fixed(syncs, 2),
           support::fmt_fixed(moved, 1)}) {
       table_row.push_back(value);
     }
-    for (auto& value : {std::string(core::strategy_name(spec.config.strategy)),
+    for (auto& value : {strategy_label(cell0),
                         fmt_exact(spec.tl_seconds), std::to_string(spec.params.load.max_load),
                         fmt_exact(exec), fmt_exact(syncs), fmt_exact(moved)}) {
       csv_row.push_back(value);
+    }
+    if (include_service) {
+      for (auto& value : {support::fmt_fixed(p50, 4), support::fmt_fixed(p99, 4),
+                          support::fmt_fixed(p999, 4), support::fmt_fixed(throughput, 3),
+                          support::fmt_fixed(util, 4)}) {
+        table_row.push_back(value);
+      }
+      for (auto& value : {fmt_exact(p50), fmt_exact(p99), fmt_exact(p999), fmt_exact(throughput),
+                          fmt_exact(util)}) {
+        csv_row.push_back(value);
+      }
     }
     table.add_row(table_row);
     csv.write_row(csv_row);

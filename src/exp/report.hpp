@@ -28,12 +28,19 @@ struct ReportOptions {
   /// the grid's topology axis is non-default, so existing shared-only
   /// sweeps (the fig5-8 baselines) stay byte-identical.
   bool include_topology = false;
+  /// Service-mode columns, mirroring the topology rule: "arrivals" and
+  /// "rate" identity columns after topology, and the SLA block (jobs,
+  /// rates, utilization, exact p50/p99/p999 sojourn, means, switches) after
+  /// "bytes".  dlb_sweep turns this on iff the grid is armed, so every
+  /// disarmed sweep stays byte-identical.
+  bool include_service = false;
 };
 
 /// One CSV/JSON row per cell, canonical grid order.  Columns:
-/// app, procs, strategy, tl_seconds, max_load, seed, exec_seconds, syncs,
-/// redistributions, iterations_moved, messages, bytes
-/// [, faults..8 fault columns] [, wall_seconds].
+/// app, procs [, topology] [, arrivals, rate], strategy, tl_seconds,
+/// max_load, seed, exec_seconds, syncs, redistributions, iterations_moved,
+/// messages, bytes [, 11 service SLA columns] [, faults..8 fault columns]
+/// [, wall_seconds].
 /// exec_seconds is printed with round-trip (max_digits10) precision so
 /// equality of bytes implies equality of doubles.
 void write_csv(std::ostream& os, const SweepResult& sweep, const ReportOptions& options = {});
@@ -44,7 +51,7 @@ void write_json(std::ostream& os, const SweepResult& sweep, const ReportOptions&
 /// plot.  Written as an aligned table plus a trailing CSV block, mirroring
 /// the bench output style.  include_topology mirrors ReportOptions.
 void write_summary(std::ostream& os, const SweepResult& sweep, int seeds,
-                   bool include_topology = false);
+                   bool include_topology = false, bool include_service = false);
 
 /// Host-timing summary (total wall, serial-equivalent sum, speedup,
 /// cells/s).  Separate from the deterministic result streams.

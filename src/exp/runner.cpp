@@ -1,5 +1,6 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <numeric>
@@ -8,7 +9,10 @@
 
 #include "core/runtime.hpp"
 #include "exp/pool.hpp"
+#include "net/characterize.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
+#include "svc/service.hpp"
 
 namespace dlb::exp {
 
@@ -16,6 +20,32 @@ namespace {
 
 double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// One service cell: characterize the network for the predictor (pure
+/// virtual-time simulation, deterministic per parameter set), then run the
+/// open stream.  Observability reduces to the metrics registry — service
+/// mode has no recorder or trace hooks.
+void run_service_cell(CellResult& out) {
+  core::DlbConfig config = out.spec.config;
+  const bool observe = config.observe;
+  config.observe = false;
+  config.record_trace = false;
+  if (config.strategy == core::Strategy::kAuto) config.strategy = core::Strategy::kNoDlb;
+
+  const auto costs =
+      net::characterize(out.spec.params.network, std::max(out.spec.params.procs, 16)).costs;
+  obs::MetricsRegistry registry;
+  out.service = svc::run_service(out.spec.params, config, *out.spec.service, costs,
+                                 observe ? &registry : nullptr);
+  out.result.app_name = out.spec.app_name;
+  out.result.strategy_name = out.spec.service->online
+                                 ? "online"
+                                 : std::string(core::strategy_name(out.spec.service->strategy));
+  out.result.exec_seconds = out.service->horizon_seconds;
+  out.result.messages = out.service->messages;
+  out.result.bytes = out.service->bytes;
+  if (observe) out.result.metrics = registry.snapshot();
 }
 
 }  // namespace
@@ -32,6 +62,12 @@ CellResult Runner::run_cell(const ExperimentGrid& grid, std::size_t index, Pool*
   const auto t0 = std::chrono::steady_clock::now();
   CellResult out;
   out.spec = grid.cell(index);
+
+  if (out.spec.service) {
+    run_service_cell(out);
+    out.wall_seconds = elapsed_seconds(t0);
+    return out;
+  }
 
   cluster::Cluster cluster(out.spec.params);
   std::optional<PoolShardExecutor> executor;

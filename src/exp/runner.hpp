@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/run_stats.hpp"
@@ -27,6 +28,10 @@ struct RunnerOptions {
 struct [[nodiscard]] CellResult {
   CellSpec spec;
   core::RunResult result;
+  /// Present iff the cell ran in service mode: the SLA report of the open
+  /// job stream (result then carries app/strategy names, horizon as
+  /// exec_seconds, and network totals for the sim backend).
+  std::optional<svc::ServiceReport> service;
   double wall_seconds = 0.0;
 };
 

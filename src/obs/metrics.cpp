@@ -76,6 +76,27 @@ std::string format_bound(double bound) {
   return ss.str();
 }
 
+std::vector<double> log_spaced_bounds(double first, double factor, int count) {
+  if (!(first > 0.0) || !std::isfinite(first)) {
+    throw std::invalid_argument("log_spaced_bounds: first must be finite and > 0");
+  }
+  if (!(factor > 1.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument("log_spaced_bounds: factor must be finite and > 1");
+  }
+  if (count < 1) throw std::invalid_argument("log_spaced_bounds: count must be >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double edge = first;
+  for (int i = 0; i < count; ++i) {
+    if (!std::isfinite(edge)) {
+      throw std::invalid_argument("log_spaced_bounds: bounds overflow to infinity");
+    }
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.values.emplace_back(name, c->value());

@@ -93,4 +93,12 @@ class MetricsRegistry {
 /// (`64`, `0.5`, `inf`); shared with the report tests.
 [[nodiscard]] std::string format_bound(double bound);
 
+/// Geometric bucket bounds for long-tail latency histograms: `count` bounds
+/// `first, first*factor, first*factor^2, ...`, each computed by repeated
+/// multiplication so the exact edge sequence is reproducible (no pow()).
+/// Requires first > 0, factor > 1, count >= 1.  Linear bounds can't resolve
+/// a sojourn distribution whose p999 sits orders of magnitude above p50;
+/// log-spaced bounds give constant relative resolution across the tail.
+[[nodiscard]] std::vector<double> log_spaced_bounds(double first, double factor, int count);
+
 }  // namespace dlb::obs

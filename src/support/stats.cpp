@@ -33,4 +33,19 @@ Summary summarize(std::span<const double> samples) {
 
 double mean_of(std::span<const double> samples) { return summarize(samples).mean; }
 
+double percentile_nearest_rank(std::span<double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("percentile_nearest_rank: empty sample");
+  if (!(q > 0.0) || !(q <= 1.0)) {
+    throw std::invalid_argument("percentile_nearest_rank: q must be in (0, 1]");
+  }
+  const auto n = samples.size();
+  const double exact = q * static_cast<double>(n);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
 }  // namespace dlb::support

@@ -19,4 +19,11 @@ struct Summary {
 
 [[nodiscard]] double mean_of(std::span<const double> samples);
 
+/// Exact nearest-rank percentile: the value at ascending rank ceil(q * n)
+/// for q in (0, 1].  Always an actual sample (never an interpolation), so
+/// the reported p50/p99/p999 are bit-identical wherever the sample multiset
+/// is identical — the SLA determinism guarantee of service mode.  Partially
+/// reorders `samples` in place (nth_element); requires a non-empty span.
+[[nodiscard]] double percentile_nearest_rank(std::span<double> samples, double q);
+
 }  // namespace dlb::support

@@ -1,0 +1,227 @@
+#include "svc/arrivals.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlb::svc {
+
+namespace {
+
+// Stream ids for the forks of the seed-salted root; fixed constants so the
+// streams are stable across releases.
+constexpr std::uint64_t kArrivalStream = 0x41525256ULL;  // "ARRV"
+constexpr std::uint64_t kClassStream = 0x434c5353ULL;    // "CLSS"
+constexpr std::uint64_t kVariantStream = 0x56524e54ULL;  // "VRNT"
+
+std::string trace_label(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return "trace:" + (slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+}  // namespace
+
+void ArrivalSpec::validate() const {
+  if (kind == ArrivalKind::kTrace && trace_path.empty()) {
+    throw std::invalid_argument("ArrivalSpec: trace arrivals require a path");
+  }
+  if (!(on_fraction > 0.0) || !(on_fraction <= 1.0)) {
+    throw std::invalid_argument("ArrivalSpec: on_fraction must be in (0, 1]");
+  }
+  if (!(cycle_seconds > 0.0) || !std::isfinite(cycle_seconds)) {
+    throw std::invalid_argument("ArrivalSpec: cycle_seconds must be finite and > 0");
+  }
+}
+
+ArrivalSpec parse_arrival_spec(const std::string& text) {
+  ArrivalSpec spec;
+  if (text == "poisson") {
+    spec.kind = ArrivalKind::kPoisson;
+    spec.label = "poisson";
+  } else if (text == "bursty") {
+    spec.kind = ArrivalKind::kBursty;
+    spec.label = "bursty";
+  } else if (text.rfind("trace:", 0) == 0) {
+    spec.kind = ArrivalKind::kTrace;
+    spec.trace_path = text.substr(6);
+    if (spec.trace_path.empty()) {
+      throw std::invalid_argument("parse_arrival_spec: empty trace path in '" + text + "'");
+    }
+    spec.label = trace_label(spec.trace_path);
+  } else {
+    throw std::invalid_argument("parse_arrival_spec: unknown arrival shape '" + text +
+                                "' (try poisson|bursty|trace:<path>)");
+  }
+  spec.validate();
+  return spec;
+}
+
+ArrivalTrace ArrivalTrace::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("ArrivalTrace: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_text(buffer.str(), path);
+}
+
+ArrivalTrace ArrivalTrace::parse_text(const std::string& text, const std::string& origin) {
+  ArrivalTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    double at = 0.0;
+    if (!(fields >> at)) continue;  // blank / comment-only line
+    int cls = -1;                   // -1: draw from the mix
+    std::string token;
+    if (fields >> token) {
+      std::size_t used = 0;
+      try {
+        cls = std::stoi(token, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != token.size() || cls < 0) {
+        throw std::invalid_argument("ArrivalTrace: bad class index at " + origin + ":" +
+                                    std::to_string(line_no));
+      }
+      if (fields >> token) {
+        throw std::invalid_argument("ArrivalTrace: trailing tokens at " + origin + ":" +
+                                    std::to_string(line_no));
+      }
+    }
+    if (!(at >= 0.0) || !std::isfinite(at)) {
+      throw std::invalid_argument("ArrivalTrace: bad arrival time at " + origin + ":" +
+                                  std::to_string(line_no));
+    }
+    if (!trace.at_seconds.empty() && at <= trace.at_seconds.back()) {
+      throw std::invalid_argument("ArrivalTrace: times must be strictly increasing at " + origin +
+                                  ":" + std::to_string(line_no));
+    }
+    trace.at_seconds.push_back(at);
+    trace.class_index.push_back(cls);
+  }
+  if (trace.at_seconds.empty()) {
+    throw std::invalid_argument("ArrivalTrace: no arrivals in " + origin);
+  }
+  return trace;
+}
+
+double ArrivalTrace::period_seconds() const {
+  const double last = at_seconds.back();
+  const auto n = at_seconds.size();
+  // Wrap period = last + the mean inter-arrival gap, so the replayed stream
+  // keeps the file's long-run rate across cycles.
+  const double mean_gap =
+      n >= 2 ? last / static_cast<double>(n - 1) : (last > 0.0 ? last : 1.0);
+  return last + mean_gap;
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalSpec spec, JobMix mix, double rate_per_sec,
+                                   int load_variants, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      mix_(std::move(mix)),
+      rate_(rate_per_sec),
+      load_variants_(load_variants),
+      arrival_rng_(support::Rng(seed).fork(kArrivalStream)),
+      class_rng_(support::Rng(seed).fork(kClassStream)),
+      variant_rng_(support::Rng(seed).fork(kVariantStream)) {
+  spec_.validate();
+  mix_.validate();
+  if (!(rate_ > 0.0) || !std::isfinite(rate_)) {
+    throw std::invalid_argument("ArrivalGenerator: rate must be finite and > 0");
+  }
+  if (load_variants_ < 1) {
+    throw std::invalid_argument("ArrivalGenerator: load_variants must be >= 1");
+  }
+  if (spec_.kind == ArrivalKind::kTrace) {
+    trace_ = ArrivalTrace::parse_file(spec_.trace_path);
+    for (const int cls : trace_.class_index) {
+      if (cls >= static_cast<int>(mix_.classes.size())) {
+        throw std::invalid_argument("ArrivalTrace: class index out of range for mix '" +
+                                    mix_.name + "'");
+      }
+    }
+    // Rescale trace time so the replayed long-run rate equals rate_.
+    const double file_rate = static_cast<double>(trace_.at_seconds.size()) /
+                             trace_.period_seconds();
+    trace_scale_ = file_rate / rate_;
+  }
+}
+
+double ArrivalGenerator::exp_draw(support::Rng& rng, double mean) {
+  // Inverse CDF on u in [0, 1): -mean * ln(1 - u).  u == 0 maps to 0, and
+  // 1 - u never reaches 0, so the draw is always finite.
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+double ArrivalGenerator::next_arrival_seconds() {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      clock_seconds_ += exp_draw(arrival_rng_, 1.0 / rate_);
+      return clock_seconds_;
+    case ArrivalKind::kBursty: {
+      const double mean_on = spec_.on_fraction * spec_.cycle_seconds;
+      const double mean_off = (1.0 - spec_.on_fraction) * spec_.cycle_seconds;
+      const double rate_on = rate_ / spec_.on_fraction;
+      if (!phase_initialized_) {
+        phase_initialized_ = true;
+        in_on_phase_ = true;
+        phase_end_seconds_ = exp_draw(arrival_rng_, mean_on);
+      }
+      // Memorylessness lets each phase crossing restart the exponential
+      // inter-arrival clock at the boundary without biasing the process.
+      for (;;) {
+        if (in_on_phase_) {
+          const double candidate = clock_seconds_ + exp_draw(arrival_rng_, 1.0 / rate_on);
+          if (candidate <= phase_end_seconds_) {
+            clock_seconds_ = candidate;
+            return clock_seconds_;
+          }
+          clock_seconds_ = phase_end_seconds_;
+          in_on_phase_ = false;
+          if (mean_off > 0.0) phase_end_seconds_ += exp_draw(arrival_rng_, mean_off);
+        } else {
+          clock_seconds_ = phase_end_seconds_;
+          in_on_phase_ = true;
+          phase_end_seconds_ += exp_draw(arrival_rng_, mean_on);
+        }
+      }
+    }
+    case ArrivalKind::kTrace: {
+      if (trace_pos_ == trace_.at_seconds.size()) {
+        trace_pos_ = 0;
+        trace_cycle_offset_ += trace_.period_seconds();
+      }
+      const double at = (trace_cycle_offset_ + trace_.at_seconds[trace_pos_]) * trace_scale_;
+      trace_pinned_class_ = trace_.class_index[trace_pos_];
+      ++trace_pos_;
+      clock_seconds_ = at;
+      return at;
+    }
+  }
+  throw std::logic_error("ArrivalGenerator: unreachable arrival kind");
+}
+
+Job ArrivalGenerator::next() {
+  Job job;
+  job.id = next_id_++;
+  trace_pinned_class_ = -1;
+  job.arrival_seconds = next_arrival_seconds();
+  // The class and variant streams advance once per job regardless of the
+  // arrival shape, so swapping poisson for bursty (or a trace that pins
+  // classes) never perturbs the other streams.
+  const double class_u = class_rng_.uniform01();
+  const int drawn = mix_.class_for(class_u);
+  job.class_index = trace_pinned_class_ >= 0 ? trace_pinned_class_ : drawn;
+  job.load_variant =
+      static_cast<int>(variant_rng_.uniform_int(0, load_variants_ - 1));
+  return job;
+}
+
+}  // namespace dlb::svc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+#include "svc/job.hpp"
+
+namespace dlb::svc {
+
+enum class ArrivalKind { kPoisson, kBursty, kTrace };
+
+/// Shape of the offered traffic.  Parsed from the CLI spelling
+/// `poisson` | `bursty` | `trace:<path>`; `label` keeps the canonical
+/// spelling for reports (trace labels drop the directory).
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  std::string label = "poisson";
+  std::string trace_path;
+  /// Bursty (MMPP on/off) shape: the stream alternates exponential ON
+  /// phases (arrivals at rate lambda / on_fraction) and OFF phases (no
+  /// arrivals), with mean cycle length `cycle_seconds`.  The long-run rate
+  /// equals lambda, so bursty and Poisson cells at one rho offer the same
+  /// load — only its variance differs.
+  double on_fraction = 0.25;
+  double cycle_seconds = 40.0;
+
+  void validate() const;
+};
+
+[[nodiscard]] ArrivalSpec parse_arrival_spec(const std::string& text);
+
+/// A parsed arrival-trace file: lines of `<arrival_seconds> [class_index]`
+/// ('#' comments), strictly increasing times.  Replay cycles the file with
+/// period `last + mean_gap`, and rescales time so the long-run rate matches
+/// the requested lambda — the same trace shape sweeps every rho.
+struct ArrivalTrace {
+  std::vector<double> at_seconds;
+  std::vector<int> class_index;  // -1: draw from the mix
+
+  [[nodiscard]] static ArrivalTrace parse_file(const std::string& path);
+  [[nodiscard]] static ArrivalTrace parse_text(const std::string& text, const std::string& origin);
+  [[nodiscard]] double period_seconds() const;
+};
+
+/// Deterministic virtual-time job stream: arrival instants from the spec at
+/// long-run rate `rate_per_sec`, job class from the mix, and a load-variant
+/// id selecting the salted load realization.  Arrival times, class draws and
+/// variant draws come from three independent streams forked from the
+/// seed-salted root, so changing the mix never perturbs the arrival process
+/// (and vice versa).
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(ArrivalSpec spec, JobMix mix, double rate_per_sec, int load_variants,
+                   std::uint64_t seed);
+
+  /// Next job; arrival times are non-decreasing.
+  [[nodiscard]] Job next();
+
+  [[nodiscard]] const JobMix& mix() const noexcept { return mix_; }
+  [[nodiscard]] double rate_per_sec() const noexcept { return rate_; }
+
+ private:
+  [[nodiscard]] double next_arrival_seconds();
+  [[nodiscard]] double exp_draw(support::Rng& rng, double mean);
+
+  ArrivalSpec spec_;
+  JobMix mix_;
+  double rate_ = 1.0;
+  int load_variants_ = 1;
+  support::Rng arrival_rng_;
+  support::Rng class_rng_;
+  support::Rng variant_rng_;
+  std::uint64_t next_id_ = 0;
+  double clock_seconds_ = 0.0;
+  // Bursty phase state.
+  bool in_on_phase_ = true;
+  double phase_end_seconds_ = 0.0;
+  bool phase_initialized_ = false;
+  // Trace replay state.
+  ArrivalTrace trace_;
+  std::size_t trace_pos_ = 0;
+  double trace_cycle_offset_ = 0.0;
+  double trace_scale_ = 1.0;
+  int trace_pinned_class_ = -1;
+};
+
+}  // namespace dlb::svc

@@ -1,0 +1,130 @@
+// StreamRuntime — the open-stream entry: idle virtual time advances exactly
+// to each admission instant, every admitted loop is work-conserving, and a
+// job admitted at time zero matches the one-shot Runtime byte for byte.
+#include "core/stream_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+#include "apps/synthetic.hpp"
+#include "cluster/cluster.hpp"
+#include "core/runtime.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using dlb::cluster::Cluster;
+using dlb::cluster::ClusterParams;
+using dlb::core::DlbConfig;
+using dlb::core::LoopRunStats;
+using dlb::core::StreamRuntime;
+using dlb::core::Strategy;
+
+ClusterParams params_for(int procs, std::uint64_t seed = 42) {
+  ClusterParams p;
+  p.procs = procs;
+  p.base_ops_per_sec = 1e6;
+  p.external_load = true;
+  p.seed = seed;
+  return p;
+}
+
+dlb::core::AppDescriptor small_app() { return dlb::apps::make_uniform(48, 20e3, 32.0); }
+
+TEST(StreamRuntime, AdvanceToMovesIdleTimeAndIgnoresThePast) {
+  Cluster cluster(params_for(4));
+  StreamRuntime stream(cluster, DlbConfig{});
+  EXPECT_EQ(stream.now(), 0);
+  stream.advance_to(dlb::sim::from_seconds(3.5));
+  EXPECT_EQ(stream.now(), dlb::sim::from_seconds(3.5));
+  stream.advance_to(dlb::sim::from_seconds(1.0));  // no-op: in the past
+  EXPECT_EQ(stream.now(), dlb::sim::from_seconds(3.5));
+}
+
+TEST(StreamRuntime, RunLoopConservesWorkAndAdvancesTheClock) {
+  Cluster cluster(params_for(4));
+  StreamRuntime stream(cluster, DlbConfig{});
+  const auto app = small_app();
+  const LoopRunStats stats = stream.run_loop(app.loops[0], Strategy::kGDDLB);
+  const auto executed = std::accumulate(stats.executed_per_proc.begin(),
+                                        stats.executed_per_proc.end(), std::int64_t{0});
+  EXPECT_EQ(executed, app.loops[0].iterations);
+  EXPECT_GT(stats.finish_seconds, 0.0);
+  EXPECT_EQ(stream.now(), dlb::sim::from_seconds(stats.finish_seconds));
+  EXPECT_EQ(stream.loops_run(), 1u);
+}
+
+TEST(StreamRuntime, SequentialJobsRunAtAbsoluteVirtualTime) {
+  Cluster cluster(params_for(4));
+  StreamRuntime stream(cluster, DlbConfig{});
+  const auto app = small_app();
+
+  const LoopRunStats first = stream.run_loop(app.loops[0], Strategy::kGCDLB);
+  const auto arrival = stream.now() + dlb::sim::from_seconds(2.0);
+  stream.advance_to(arrival);
+  const LoopRunStats second = stream.run_loop(app.loops[0], Strategy::kNoDlb);
+
+  EXPECT_GT(second.finish_seconds, first.finish_seconds + 2.0);
+  EXPECT_EQ(stream.loops_run(), 2u);
+  // Strategies can change job to job on the same persistent cluster.
+  const LoopRunStats third = stream.run_loop(app.loops[0], Strategy::kLDDLB);
+  EXPECT_GT(third.finish_seconds, second.finish_seconds);
+}
+
+TEST(StreamRuntime, FirstJobMatchesTheOneShotRuntime) {
+  // At virtual time zero on an identically seeded cluster, an admitted loop
+  // must reproduce Runtime::run_single_loop exactly — same protocol, same
+  // engine, same load realization.
+  const auto app = small_app();
+  const auto params = params_for(4, 77);
+
+  Cluster one_shot(params);
+  dlb::core::DlbConfig config;
+  config.strategy = Strategy::kGDDLB;
+  dlb::core::Runtime runtime(one_shot, app, config);
+  const auto reference = runtime.run_single_loop(0);
+
+  Cluster persistent(params);
+  StreamRuntime stream(persistent, DlbConfig{});
+  const LoopRunStats stats = stream.run_loop(app.loops[0], Strategy::kGDDLB);
+
+  EXPECT_DOUBLE_EQ(stats.finish_seconds, reference.exec_seconds);
+  ASSERT_EQ(reference.loops.size(), 1u);
+  EXPECT_EQ(stats.syncs, reference.loops[0].syncs);
+  EXPECT_EQ(stats.iterations_moved, reference.loops[0].iterations_moved);
+}
+
+TEST(StreamRuntime, IsDeterministicAcrossReplays) {
+  const auto app = small_app();
+  const auto run_once = [&app] {
+    Cluster cluster(params_for(8, 5));
+    StreamRuntime stream(cluster, DlbConfig{});
+    double total = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      stream.advance_to(stream.now() + dlb::sim::from_seconds(0.5));
+      total += stream.run_loop(app.loops[0], Strategy::kGCDLB).finish_seconds;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(StreamRuntime, RejectsAutoAndArmedHooks) {
+  Cluster cluster(params_for(4));
+  StreamRuntime stream(cluster, DlbConfig{});
+  const auto app = small_app();
+  EXPECT_THROW((void)stream.run_loop(app.loops[0], Strategy::kAuto), std::invalid_argument);
+
+  DlbConfig observing;
+  observing.observe = true;
+  Cluster other(params_for(4));
+  EXPECT_THROW(StreamRuntime(other, observing), std::invalid_argument);
+  DlbConfig tracing;
+  tracing.record_trace = true;
+  EXPECT_THROW(StreamRuntime(other, tracing), std::invalid_argument);
+}
+
+}  // namespace

@@ -17,34 +17,39 @@ namespace {
 using dlb::lint::Diagnostic;
 
 struct CorpusEntry {
-  const char* rule;     // corpus directory name
+  const char* dir;           // corpus directory name
+  const char* rule;          // rule every bad-fixture diagnostic must carry
   const char* virtual_path;  // path the fixtures are linted as
-  const char* ext;      // fixture extension
+  const char* ext;           // fixture extension
 };
 
 // One row per corpus directory; the virtual path forces the scope the rule
 // guards (src/sim, src/core, ...) even though the fixtures live in tests/.
+// The directory usually matches the rule; scope-extension pairs (svc-arrivals)
+// re-fire an existing rule from a newly guarded module instead.
 const CorpusEntry kCorpus[] = {
-    {"wall-clock", "src/sim/corpus_wall_clock.cpp", "cpp"},
-    {"ambient-random", "src/sim/corpus_ambient_random.cpp", "cpp"},
-    {"env-read", "src/sim/corpus_env_read.cpp", "cpp"},
-    {"unordered-iter", "src/core/corpus_unordered_iter.cpp", "cpp"},
-    {"pointer-keyed", "src/core/corpus_pointer_keyed.cpp", "cpp"},
-    {"schedule-ref-capture", "src/sim/corpus_schedule_ref_capture.cpp", "cpp"},
-    {"coro-ref-param", "src/core/corpus_coro_ref_param.cpp", "cpp"},
-    {"unawaited-task", "src/core/corpus_unawaited_task.cpp", "cpp"},
-    {"hotpath-alloc", "src/sim/corpus_hotpath_alloc.cpp", "cpp"},
-    {"recorder-guard", "src/core/corpus_recorder_guard.cpp", "cpp"},
-    {"layer-order", "src/sim/corpus_layer_order.cpp", "cpp"},
-    {"shard-isolation", "src/core/corpus_shard_isolation.cpp", "cpp"},
-    {"include-hygiene", "src/sim/corpus_include_hygiene.hpp", "hpp"},
+    {"wall-clock", "wall-clock", "src/sim/corpus_wall_clock.cpp", "cpp"},
+    {"ambient-random", "ambient-random", "src/sim/corpus_ambient_random.cpp", "cpp"},
+    {"env-read", "env-read", "src/sim/corpus_env_read.cpp", "cpp"},
+    {"unordered-iter", "unordered-iter", "src/core/corpus_unordered_iter.cpp", "cpp"},
+    {"pointer-keyed", "pointer-keyed", "src/core/corpus_pointer_keyed.cpp", "cpp"},
+    {"schedule-ref-capture", "schedule-ref-capture", "src/sim/corpus_schedule_ref_capture.cpp",
+     "cpp"},
+    {"coro-ref-param", "coro-ref-param", "src/core/corpus_coro_ref_param.cpp", "cpp"},
+    {"unawaited-task", "unawaited-task", "src/core/corpus_unawaited_task.cpp", "cpp"},
+    {"hotpath-alloc", "hotpath-alloc", "src/sim/corpus_hotpath_alloc.cpp", "cpp"},
+    {"recorder-guard", "recorder-guard", "src/core/corpus_recorder_guard.cpp", "cpp"},
+    {"layer-order", "layer-order", "src/sim/corpus_layer_order.cpp", "cpp"},
+    {"shard-isolation", "shard-isolation", "src/core/corpus_shard_isolation.cpp", "cpp"},
+    {"include-hygiene", "include-hygiene", "src/sim/corpus_include_hygiene.hpp", "hpp"},
+    {"svc-arrivals", "ambient-random", "src/svc/corpus_svc_arrivals.cpp", "cpp"},
 };
 
 std::string corpus_dir() { return DLBLINT_CORPUS_DIR; }
 
 std::vector<Diagnostic> lint_fixture(const CorpusEntry& e, const char* which) {
   const std::string disk =
-      corpus_dir() + "/" + e.rule + "/" + which + "." + e.ext;
+      corpus_dir() + "/" + e.dir + "/" + which + "." + e.ext;
   return dlb::lint::lint_files({{disk, e.virtual_path}});
 }
 
@@ -53,9 +58,9 @@ class DlblintCorpus : public testing::TestWithParam<CorpusEntry> {};
 TEST_P(DlblintCorpus, BadFiresExactlyItsRule) {
   const CorpusEntry& e = GetParam();
   const std::vector<Diagnostic> diags = lint_fixture(e, "bad");
-  ASSERT_FALSE(diags.empty()) << e.rule << "/bad must trigger its rule";
+  ASSERT_FALSE(diags.empty()) << e.dir << "/bad must trigger its rule";
   for (const Diagnostic& d : diags) {
-    EXPECT_EQ(d.rule, e.rule) << "unexpected rule in " << e.rule << "/bad: " << d.rule << " ("
+    EXPECT_EQ(d.rule, e.rule) << "unexpected rule in " << e.dir << "/bad: " << d.rule << " ("
                               << d.message << ")";
     EXPECT_EQ(d.file, e.virtual_path);
     EXPECT_GT(d.line, 0);
@@ -66,14 +71,14 @@ TEST_P(DlblintCorpus, GoodLintsClean) {
   const CorpusEntry& e = GetParam();
   const std::vector<Diagnostic> diags = lint_fixture(e, "good");
   for (const Diagnostic& d : diags) {
-    ADD_FAILURE() << e.rule << "/good fired " << d.rule << " at line " << d.line << ": "
+    ADD_FAILURE() << e.dir << "/good fired " << d.rule << " at line " << d.line << ": "
                   << d.message;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRules, DlblintCorpus, testing::ValuesIn(kCorpus),
                          [](const testing::TestParamInfo<CorpusEntry>& info) {
-                           std::string name = info.param.rule;
+                           std::string name = info.param.dir;
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });

@@ -1,0 +1,13 @@
+// Linted as src/svc/corpus_svc_arrivals.cpp: jittering the arrival stream
+// from hidden global state breaks the service sweep's cross-thread
+// byte-identity — two runs of the same cell disagree on every timestamp.
+#include <cstdlib>
+
+namespace dlb::svc {
+
+double jittered_gap(double mean_seconds) {
+  const double u = static_cast<double>(rand()) / 2147483647.0;
+  return mean_seconds * (0.5 + u);
+}
+
+}  // namespace dlb::svc

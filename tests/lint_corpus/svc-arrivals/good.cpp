@@ -1,0 +1,12 @@
+// Linted as src/svc/corpus_svc_arrivals.cpp: every arrival draw flows
+// through a forked, explicitly seeded support::Rng stream, so the job
+// stream is a pure function of (spec, seed).
+#include "support/rng.hpp"
+
+namespace dlb::svc {
+
+double jittered_gap(support::Rng& rng, double mean_seconds) {
+  return mean_seconds * (0.5 + rng.uniform01());
+}
+
+}  // namespace dlb::svc

@@ -106,4 +106,47 @@ TEST(Metrics, SnapshotFlattensSorted) {
   EXPECT_DOUBLE_EQ(snap.value_of("missing", -1.0), -1.0);
 }
 
+TEST(LogSpacedBounds, ExactEdgesByRepeatedMultiplication) {
+  const auto bounds = dlb::obs::log_spaced_bounds(1e-3, 2.0, 24);
+  ASSERT_EQ(bounds.size(), 24u);
+  // The contract is the exact edge sequence first, first*factor, ... computed
+  // by repeated multiplication — bit-reproducible, no pow().
+  double edge = 1e-3;
+  for (const double b : bounds) {
+    EXPECT_DOUBLE_EQ(b, edge);
+    edge *= 2.0;
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+  EXPECT_LT(bounds.back(), 10000.0);  // ~2.3 hours
+  EXPECT_GT(bounds.back(), 8000.0);
+}
+
+TEST(LogSpacedBounds, EdgesAreValidHistogramBounds) {
+  const auto bounds = dlb::obs::log_spaced_bounds(0.5, 3.0, 8);
+  const Histogram h(bounds);  // strictly increasing, finite — must not throw
+  EXPECT_EQ(h.counts().size(), 9u);
+}
+
+TEST(LogSpacedBounds, ValidatesArguments) {
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(-1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(1.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(1.0, 2.0, 0), std::invalid_argument);
+  // Overflow past the double range is a caller error, not an inf bound.
+  EXPECT_THROW((void)dlb::obs::log_spaced_bounds(1.0, 10.0, 400), std::invalid_argument);
+}
+
+TEST(LogSpacedBounds, SnapshotOfLogHistogramIsDeterministic) {
+  const auto snapshot_once = [] {
+    MetricsRegistry reg;
+    auto& h = reg.histogram("svc.sojourn_seconds", dlb::obs::log_spaced_bounds(1e-3, 2.0, 24));
+    for (int i = 0; i < 100; ++i) h.observe(0.001 * static_cast<double>(i * i));
+    return reg.snapshot();
+  };
+  const auto a = snapshot_once();
+  const auto b = snapshot_once();
+  EXPECT_EQ(a.values, b.values);
+}
+
 }  // namespace

@@ -45,4 +45,34 @@ TEST(Summary, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(s.median, 3.0);
 }
 
+TEST(PercentileNearestRank, ExactRankSemantics) {
+  using dlb::support::percentile_nearest_rank;
+  // Nearest-rank: rank = ceil(q * n), 1-based into the sorted order.
+  std::vector<double> v{40, 10, 30, 20};  // sorted: 10 20 30 40
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.50), 20.0);   // ceil(2.0) = 2
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.51), 30.0);   // ceil(2.04) = 3
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.001), 10.0);  // rank 1: the min
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.99), 40.0);   // rank 4: the max
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 1.0), 40.0);
+}
+
+TEST(PercentileNearestRank, SingleSampleAndDuplicates) {
+  using dlb::support::percentile_nearest_rank;
+  std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, 0.999), 7.5);
+  std::vector<double> dup{2.0, 2.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(dup, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(dup, 0.99), 9.0);
+}
+
+TEST(PercentileNearestRank, ValidatesInput) {
+  using dlb::support::percentile_nearest_rank;
+  std::vector<double> empty;
+  EXPECT_THROW((void)percentile_nearest_rank(empty, 0.5), std::invalid_argument);
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW((void)percentile_nearest_rank(v, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank(v, 1.5), std::invalid_argument);
+}
+
 }  // namespace

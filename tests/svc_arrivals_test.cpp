@@ -1,0 +1,195 @@
+// Arrival generators: the job stream must be a pure function of
+// (spec, mix, rate, seed), arrival times non-decreasing, long-run rates
+// matching the requested lambda, and the class/variant streams independent
+// of the arrival shape.
+#include "svc/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace {
+
+using dlb::svc::ArrivalGenerator;
+using dlb::svc::ArrivalKind;
+using dlb::svc::ArrivalSpec;
+using dlb::svc::ArrivalTrace;
+using dlb::svc::Job;
+using dlb::svc::JobMix;
+using dlb::svc::parse_arrival_spec;
+
+std::vector<Job> draw(ArrivalGenerator& gen, int n) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) jobs.push_back(gen.next());
+  return jobs;
+}
+
+TEST(ParseArrivalSpec, RecognizesTheThreeShapes) {
+  EXPECT_EQ(parse_arrival_spec("poisson").kind, ArrivalKind::kPoisson);
+  EXPECT_EQ(parse_arrival_spec("poisson").label, "poisson");
+  EXPECT_EQ(parse_arrival_spec("bursty").kind, ArrivalKind::kBursty);
+  const ArrivalSpec trace = parse_arrival_spec("trace:/some/dir/web.trace");
+  EXPECT_EQ(trace.kind, ArrivalKind::kTrace);
+  EXPECT_EQ(trace.trace_path, "/some/dir/web.trace");
+  EXPECT_EQ(trace.label, "trace:web.trace");  // label drops the directory
+  EXPECT_THROW((void)parse_arrival_spec("uniform"), std::invalid_argument);
+  EXPECT_THROW((void)parse_arrival_spec("trace:"), std::invalid_argument);
+}
+
+TEST(Arrivals, PoissonIsDeterministicPerSeedAndSaltedAcrossSeeds) {
+  const ArrivalSpec spec;
+  const JobMix mix = JobMix::builtin("default");
+  ArrivalGenerator a(spec, mix, 2.0, 8, 42);
+  ArrivalGenerator b(spec, mix, 2.0, 8, 42);
+  ArrivalGenerator c(spec, mix, 2.0, 8, 43);
+  const auto ja = draw(a, 500);
+  const auto jb = draw(b, 500);
+  const auto jc = draw(c, 500);
+  bool seeds_differ = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    EXPECT_DOUBLE_EQ(ja[k].arrival_seconds, jb[k].arrival_seconds);
+    EXPECT_EQ(ja[k].class_index, jb[k].class_index);
+    EXPECT_EQ(ja[k].load_variant, jb[k].load_variant);
+    if (ja[k].arrival_seconds != jc[k].arrival_seconds) seeds_differ = true;
+  }
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(Arrivals, LongRunRateMatchesLambda) {
+  const JobMix mix = JobMix::builtin("default");
+  for (const char* shape : {"poisson", "bursty"}) {
+    ArrivalGenerator gen(parse_arrival_spec(shape), mix, 4.0, 4, 9001);
+    const auto jobs = draw(gen, 20000);
+    double prev = 0.0;
+    for (const Job& j : jobs) {
+      EXPECT_GE(j.arrival_seconds, prev) << shape;
+      prev = j.arrival_seconds;
+    }
+    const double realized = 20000.0 / jobs.back().arrival_seconds;
+    EXPECT_NEAR(realized, 4.0, 0.4) << shape;  // within 10% over 20k draws
+  }
+}
+
+TEST(Arrivals, BurstyClumpsArrivalsIntoOnPhases) {
+  // At on_fraction 0.25 the ON-phase rate is 4x the long-run rate, so the
+  // median inter-arrival gap is far below the Poisson mean 1/lambda.
+  const JobMix mix = JobMix::builtin("default");
+  ArrivalGenerator gen(parse_arrival_spec("bursty"), mix, 1.0, 4, 11);
+  const auto jobs = draw(gen, 4000);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    gaps.push_back(jobs[i].arrival_seconds - jobs[i - 1].arrival_seconds);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  EXPECT_LT(gaps[gaps.size() / 2], 0.5);  // median gap ~ 1/(4 lambda), not 1/lambda
+}
+
+TEST(Arrivals, ClassAndVariantStreamsAreIndependentOfTheShape) {
+  // Swapping poisson for bursty must not perturb the class or variant draws:
+  // the three streams are forked independently from the seed-salted root.
+  const JobMix mix = JobMix::builtin("default");
+  ArrivalGenerator poisson(parse_arrival_spec("poisson"), mix, 2.0, 8, 123);
+  ArrivalGenerator bursty(parse_arrival_spec("bursty"), mix, 2.0, 8, 123);
+  const auto jp = draw(poisson, 1000);
+  const auto jb = draw(bursty, 1000);
+  for (std::size_t i = 0; i < jp.size(); ++i) {
+    EXPECT_EQ(jp[i].class_index, jb[i].class_index);
+    EXPECT_EQ(jp[i].load_variant, jb[i].load_variant);
+  }
+}
+
+TEST(Arrivals, ValidatesRateAndVariants) {
+  const JobMix mix = JobMix::builtin("default");
+  EXPECT_THROW(ArrivalGenerator(ArrivalSpec{}, mix, 0.0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(ArrivalGenerator(ArrivalSpec{}, mix, -1.0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(ArrivalGenerator(ArrivalSpec{}, mix, 1.0, 0, 1), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, ParsesTimesCommentsAndOptionalClasses) {
+  const ArrivalTrace trace = ArrivalTrace::parse_text(
+      "# web trace, seconds\n"
+      "0.5\n"
+      "1.25 2   # pinned to class 2\n"
+      "\n"
+      "3.0 0\n",
+      "test");
+  ASSERT_EQ(trace.at_seconds.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.at_seconds[0], 0.5);
+  EXPECT_DOUBLE_EQ(trace.at_seconds[1], 1.25);
+  EXPECT_EQ(trace.class_index[0], -1);  // no class: drawn from the mix
+  EXPECT_EQ(trace.class_index[1], 2);
+  EXPECT_EQ(trace.class_index[2], 0);
+  // period = last + mean gap = 3.0 + 3.0/2.
+  EXPECT_DOUBLE_EQ(trace.period_seconds(), 4.5);
+}
+
+TEST(ArrivalTrace, RejectsMalformedLines) {
+  EXPECT_THROW((void)ArrivalTrace::parse_text("1.0\n0.5\n", "t"),
+               std::invalid_argument);  // not strictly increasing
+  EXPECT_THROW((void)ArrivalTrace::parse_text("1.0\n1.0\n", "t"), std::invalid_argument);
+  EXPECT_THROW((void)ArrivalTrace::parse_text("-1.0\n", "t"), std::invalid_argument);
+  EXPECT_THROW((void)ArrivalTrace::parse_text("1.0 x\n", "t"), std::invalid_argument);
+  EXPECT_THROW((void)ArrivalTrace::parse_text("1.0 -2\n", "t"), std::invalid_argument);
+  EXPECT_THROW((void)ArrivalTrace::parse_text("1.0 2 7\n", "t"),
+               std::invalid_argument);  // trailing token
+  EXPECT_THROW((void)ArrivalTrace::parse_text("# only comments\n", "t"), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, ReplayCyclesAndRescalesToTheRequestedRate) {
+  const std::string path = testing::TempDir() + "svc_arrivals_cycle.trace";
+  {
+    std::ofstream out(path);
+    // last 1.5, mean gap 0.75 -> period 2.25, file rate 3/2.25 jobs/s.
+    out << "0.5 1\n1.0\n1.5 0\n";
+  }
+  const JobMix mix = JobMix::builtin("default");
+  // Requesting exactly the file's rate makes the rescale factor 1.0, so the
+  // replayed instants are the file instants plus whole periods.
+  const double file_rate = 3.0 / 2.25;
+  ArrivalGenerator gen(parse_arrival_spec("trace:" + path), mix, file_rate, 4, 5);
+  const auto jobs = draw(gen, 6);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(jobs[2].arrival_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(jobs[3].arrival_seconds, 2.25 + 0.5);  // second cycle
+  EXPECT_DOUBLE_EQ(jobs[4].arrival_seconds, 2.25 + 1.0);
+  EXPECT_DOUBLE_EQ(jobs[5].arrival_seconds, 2.25 + 1.5);
+  // Pinned classes replay with the cycle; unpinned lines draw from the mix.
+  EXPECT_EQ(jobs[0].class_index, 1);
+  EXPECT_EQ(jobs[2].class_index, 0);
+  EXPECT_EQ(jobs[3].class_index, 1);
+  EXPECT_GE(jobs[1].class_index, 0);
+  EXPECT_LT(jobs[1].class_index, static_cast<int>(mix.classes.size()));
+
+  // Doubling the requested rate halves every instant (scale is exactly 0.5).
+  ArrivalGenerator twice(parse_arrival_spec("trace:" + path), mix, 2.0 * file_rate, 4, 5);
+  const auto fast = draw(twice, 6);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast[i].arrival_seconds, jobs[i].arrival_seconds * 0.5);
+  }
+}
+
+TEST(ArrivalTrace, RejectsClassIndexOutOfMixRange) {
+  const std::string path = testing::TempDir() + "svc_arrivals_range.trace";
+  {
+    std::ofstream out(path);
+    out << "1.0 99\n";
+  }
+  const JobMix mix = JobMix::builtin("default");  // 3 classes
+  EXPECT_THROW(ArrivalGenerator(parse_arrival_spec("trace:" + path), mix, 1.0, 4, 5),
+               std::invalid_argument);
+}
+
+TEST(ArrivalTrace, MissingFileThrows) {
+  EXPECT_THROW((void)ArrivalTrace::parse_file("/nonexistent/path.trace"), std::invalid_argument);
+}
+
+}  // namespace

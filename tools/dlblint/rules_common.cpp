@@ -15,7 +15,7 @@ std::string module_of(const std::string& path) {
 
 bool in_guarded_dirs(const std::string& path) {
   const std::string m = module_of(path);
-  return m == "sim" || m == "core" || m == "net" || m == "fault" || m == "obs";
+  return m == "sim" || m == "core" || m == "net" || m == "fault" || m == "obs" || m == "svc";
 }
 
 bool is_header(const std::string& path) {

@@ -1,8 +1,10 @@
 // Determinism rule family: the simulator's reproducibility claims (canonical
 // merge, bit-identical fault replay, byte-identical traces at any thread
-// count) require that nothing inside src/sim, src/core, src/net, src/fault
-// or src/obs reads wall-clock time, ambient randomness, the environment, or
-// any iteration/ordering source that varies between runs of the same seed.
+// count) require that nothing inside src/sim, src/core, src/net, src/fault,
+// src/obs or src/svc reads wall-clock time, ambient randomness, the
+// environment, or any iteration/ordering source that varies between runs of
+// the same seed.  src/svc is guarded because the arrival generators feed the
+// cross-thread byte-identity guarantee of --figure=service.
 #include <map>
 #include <set>
 

@@ -222,7 +222,8 @@ const std::map<std::string, std::set<std::string>>& module_deps() {
       {"decision", {"model", "core"}},
       {"apps", {"core"}},
       {"sched", {"core", "cluster", "fault"}},
-      {"exp", {"core", "cluster", "apps", "support"}},
+      {"svc", {"decision", "model", "core", "obs", "support"}},
+      {"exp", {"svc", "net", "core", "cluster", "apps", "support"}},
       {"codegen", {"core"}},
       {"emu", {"core"}},
   };
@@ -301,8 +302,8 @@ void rule_layer_order(const FileUnit& u, const Project&, std::vector<Diagnostic>
 /// module is deliberately absent: its EmuChannel::deliver is a separate
 /// host-thread runtime with no engine shards.
 bool shard_isolated_module(const std::string& module) {
-  static const std::set<std::string> kModules = {"core", "cluster", "fault", "sched",
-                                                 "apps", "exp",     "model", "decision"};
+  static const std::set<std::string> kModules = {"core", "cluster", "fault",    "sched", "apps",
+                                                 "exp",  "model",   "decision", "svc"};
   return kModules.count(module) != 0;
 }
 
