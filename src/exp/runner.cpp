@@ -112,7 +112,10 @@ SweepResult Runner::run(const ExperimentGrid& grid) const {
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   if (options_.shuffle_submission) {
-    support::Rng rng(options_.shuffle_seed);
+    // Salted stream, not the raw seed: any future draw purpose sharing
+    // shuffle_seed gets its own fork and the permutation stays put.
+    constexpr std::uint64_t kShuffleStream = 0x53485546;  // "SHUF"
+    support::Rng rng = support::Rng(options_.shuffle_seed).fork(kShuffleStream);
     for (std::size_t i = n; i > 1; --i) {
       const auto j = rng.uniform_int(0, static_cast<std::int64_t>(i) - 1);
       std::swap(order[i - 1], order[static_cast<std::size_t>(j)]);

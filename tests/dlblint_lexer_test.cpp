@@ -1,0 +1,150 @@
+// dlblint lexer: directed tests for the token shapes the rules depend on,
+// plus the span property — every token carries its (offset, length) byte
+// span, spans are ordered and disjoint, inter-token gaps are pure
+// whitespace, and together they reconstruct each repo source file
+// byte-exactly.
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dlblint/lexer.hpp"
+
+namespace {
+
+using dlb::lint::Token;
+using dlb::lint::TokenKind;
+
+std::vector<std::string> texts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : dlb::lint::lex(src)) out.push_back(t.text);
+  return out;
+}
+
+TEST(DlblintLexer, SpaceshipFusesAndComparisonsStaySplit) {
+  EXPECT_EQ(texts("a <=> b"), (std::vector<std::string>{"a", "<=>", "b"}));
+  EXPECT_EQ(texts("a <= b"), (std::vector<std::string>{"a", "<=", "b"}));
+  // '<' and '>' never fuse so template scans can count depth.
+  EXPECT_EQ(texts("Task<int>"), (std::vector<std::string>{"Task", "<", "int", ">"}));
+}
+
+TEST(DlblintLexer, CompoundAssignmentsFuse) {
+  EXPECT_EQ(texts("s += x"), (std::vector<std::string>{"s", "+=", "x"}));
+  EXPECT_EQ(texts("s -= x"), (std::vector<std::string>{"s", "-=", "x"}));
+  EXPECT_EQ(texts("s *= x"), (std::vector<std::string>{"s", "*=", "x"}));
+  EXPECT_EQ(texts("s = -x"), (std::vector<std::string>{"s", "=", "-", "x"}));
+}
+
+TEST(DlblintLexer, DigitSeparatorsRideTheLiteral) {
+  const std::vector<Token> toks = dlb::lint::lex("1'000'000 + 2");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[0].text, "1'000'000");
+  // A quote starting a char literal is not a separator: 1 then 'x'.
+  const std::vector<Token> edge = dlb::lint::lex("1'x'");
+  ASSERT_EQ(edge.size(), 2u);
+  EXPECT_EQ(edge[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(edge[1].kind, TokenKind::kChar);
+}
+
+TEST(DlblintLexer, RawStringsWithEncodingPrefixes) {
+  const std::vector<Token> raw = dlb::lint::lex("auto s = R\"(a \"quoted\" line)\";");
+  bool found = false;
+  for (const Token& t : raw) {
+    if (t.kind == TokenKind::kString) {
+      found = true;
+      EXPECT_EQ(t.text, "a \"quoted\" line");
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::vector<Token> u8raw = dlb::lint::lex("auto s = u8R\"x(payload)x\";");
+  found = false;
+  for (const Token& t : u8raw) {
+    if (t.kind == TokenKind::kString) {
+      found = true;
+      EXPECT_EQ(t.text, "payload");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DlblintLexer, EncodingPrefixedPlainStrings) {
+  const std::vector<Token> toks = dlb::lint::lex("auto s = u8\"hi\";");
+  bool found = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kString) {
+      found = true;
+      EXPECT_EQ(t.text, "hi");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DlblintLexer, PreprocessorSpliceJoinsLines) {
+  const std::vector<Token> toks = dlb::lint::lex("#define X 1 \\\n  + 2\nint a;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(toks[0].text.find("+ 2"), std::string::npos);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+// ---- the span property over the whole repo -------------------------------
+
+bool lexer_whitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+
+/// Reconstructs `src` from the token spans and the whitespace gaps between
+/// them; any non-whitespace byte outside a span, overlap, or out-of-order
+/// span breaks the property.
+void check_spans(const std::string& path, const std::string& src) {
+  const std::vector<Token> toks = dlb::lint::lex(src);
+  std::string rebuilt;
+  rebuilt.reserve(src.size());
+  std::size_t pos = 0;
+  for (const Token& t : toks) {
+    ASSERT_LE(pos, t.offset) << path << ": overlapping or out-of-order span at line " << t.line;
+    ASSERT_LE(t.offset + t.length, src.size()) << path << ": span past EOF at line " << t.line;
+    for (std::size_t i = pos; i < t.offset; ++i) {
+      ASSERT_TRUE(lexer_whitespace(src[i]))
+          << path << ": non-whitespace byte 0x" << std::hex << int(src[i]) << " at offset " << i
+          << " not covered by any token span";
+      rebuilt.push_back(src[i]);
+    }
+    rebuilt.append(src, t.offset, t.length);
+    pos = t.offset + t.length;
+  }
+  for (std::size_t i = pos; i < src.size(); ++i) {
+    ASSERT_TRUE(lexer_whitespace(src[i])) << path << ": trailing non-whitespace at " << i;
+    rebuilt.push_back(src[i]);
+  }
+  ASSERT_EQ(rebuilt, src) << path << ": spans do not reconstruct the file";
+}
+
+TEST(DlblintLexerProperty, SpansReconstructEveryRepoFileByteExactly) {
+  namespace fs = std::filesystem;
+  const fs::path root = DLBLINT_REPO_ROOT;
+  const fs::path scan_roots[] = {root / "src", root / "tools", root / "tests", root / "bench"};
+  std::size_t files = 0;
+  for (const fs::path& base : scan_roots) {
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      check_spans(entry.path().string(), ss.str());
+      ++files;
+    }
+  }
+  EXPECT_GT(files, 100u) << "repo scan found suspiciously few sources under " << root;
+}
+
+}  // namespace

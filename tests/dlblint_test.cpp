@@ -3,9 +3,11 @@
 // good fixture must lint clean, and the aggregate JSON must match the
 // checked-in golden byte for byte on every run.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -43,6 +45,11 @@ const CorpusEntry kCorpus[] = {
     {"shard-isolation", "shard-isolation", "src/core/corpus_shard_isolation.cpp", "cpp"},
     {"include-hygiene", "include-hygiene", "src/sim/corpus_include_hygiene.hpp", "hpp"},
     {"svc-arrivals", "ambient-random", "src/svc/corpus_svc_arrivals.cpp", "cpp"},
+    {"seed-stream", "seed-stream", "src/svc/corpus_seed_stream.cpp", "cpp"},
+    {"float-order", "float-order", "src/exp/corpus_float_order.cpp", "cpp"},
+    {"vtime-monotone", "vtime-monotone", "src/load/corpus_vtime_monotone.cpp", "cpp"},
+    {"shard-isolation-transitive", "shard-isolation",
+     "src/core/corpus_shard_isolation_transitive.cpp", "cpp"},
 };
 
 std::string corpus_dir() { return DLBLINT_CORPUS_DIR; }
@@ -154,6 +161,180 @@ TEST(DlblintGolden, CorpusJsonMatchesExpected) {
 
 TEST(DlblintGolden, JsonIsByteStableAcrossRuns) {
   EXPECT_EQ(aggregate_json(), aggregate_json());
+}
+
+// ---- SARIF export --------------------------------------------------------
+
+TEST(DlblintSarif, ByteStableAndCarriesEveryFinding) {
+  std::vector<Diagnostic> all;
+  for (const CorpusEntry& e : kCorpus) {
+    const std::vector<Diagnostic> diags = lint_fixture(e, "bad");
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  std::sort(all.begin(), all.end());
+  const std::string sarif = dlb::lint::render_sarif(all);
+  EXPECT_EQ(sarif, dlb::lint::render_sarif(all)) << "SARIF writer must be deterministic";
+  // Structural anchors of a 2.1.0 document.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"dlblint\""), std::string::npos);
+  // Every diagnostic surfaces as a result with its rule id and location.
+  for (const Diagnostic& d : all) {
+    EXPECT_NE(sarif.find("\"ruleId\": \"" + d.rule + "\""), std::string::npos) << d.rule;
+    EXPECT_NE(sarif.find("\"uri\": \"" + d.file + "\""), std::string::npos) << d.file;
+  }
+  // Rule metadata for the registry plus the driver-level diagnostics.
+  for (const dlb::lint::Rule& r : dlb::lint::all_rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.id) + "\""), std::string::npos) << r.id;
+  }
+  EXPECT_NE(sarif.find("\"id\": \"bare-allow\""), std::string::npos);
+}
+
+TEST(DlblintSarif, EmptyRunIsValid) {
+  const std::string sarif = dlb::lint::render_sarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"ruleId\""), std::string::npos);
+}
+
+// ---- autofixer -----------------------------------------------------------
+
+TEST(DlblintFixer, AppliesSortedNonOverlappingEdits) {
+  const std::string src = "abcdef";
+  std::vector<dlb::lint::TextEdit> edits = {{4, 1, "X"}, {1, 2, ""}, {0, 0, ">"}};
+  EXPECT_EQ(dlb::lint::apply_edits(src, edits), ">adXf");
+}
+
+TEST(DlblintFixer, OverlappingEditsFirstWins) {
+  const std::string src = "abcdef";
+  std::vector<dlb::lint::TextEdit> edits = {{1, 3, "Z"}, {2, 2, "Y"}};
+  EXPECT_EQ(dlb::lint::apply_edits(src, edits), "aZef");
+}
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+}  // namespace
+
+TEST(DlblintFixer, FixesIncludeHygieneAndIsIdempotent) {
+  const std::string tmp = testing::TempDir() + "/fix_header.hpp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "#pragma once\n\n#include <vector>\n\nnamespace x {\nstd::string s();\n"
+           "std::vector<int> v();\n}\n";
+  }
+  const std::vector<dlb::lint::Input> inputs = {{tmp, "src/sim/fix_header.hpp"}};
+  const dlb::lint::FixStats stats = dlb::lint::fix_files(inputs);
+  EXPECT_GE(stats.edits_applied, 1u);
+  const std::string fixed = slurp(tmp);
+  EXPECT_NE(fixed.find("#include <string>\n#include <vector>"), std::string::npos) << fixed;
+  EXPECT_TRUE(dlb::lint::lint_files(inputs).empty()) << "fixed header must lint clean";
+  // Second run: nothing left to do, bytes untouched.
+  const dlb::lint::FixStats again = dlb::lint::fix_files(inputs);
+  EXPECT_EQ(again.edits_applied, 0u);
+  EXPECT_EQ(slurp(tmp), fixed);
+}
+
+TEST(DlblintFixer, RemovesBareAllowMarker) {
+  const std::string tmp = testing::TempDir() + "/fix_bare.cpp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "// dlblint:allow(env-read)\nint x = 1;\n";
+  }
+  const std::vector<dlb::lint::Input> inputs = {{tmp, "src/sim/fix_bare.cpp"}};
+  (void)dlb::lint::fix_files(inputs);
+  const std::string fixed = slurp(tmp);
+  EXPECT_EQ(fixed.find("dlblint:allow"), std::string::npos) << fixed;
+  EXPECT_TRUE(dlb::lint::lint_files(inputs).empty());
+  const dlb::lint::FixStats again = dlb::lint::fix_files(inputs);
+  EXPECT_EQ(again.edits_applied, 0u);
+}
+
+TEST(DlblintFixer, FixesCoroRefParamToByValue) {
+  const std::string tmp = testing::TempDir() + "/fix_coro.cpp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "namespace x {\ntemplate <class T> struct Task {};\n"
+           "Task<int> work(const std::string& name) { co_return; }\n}\n";
+  }
+  const std::vector<dlb::lint::Input> inputs = {{tmp, "src/core/fix_coro.cpp"}};
+  (void)dlb::lint::fix_files(inputs);
+  const std::string fixed = slurp(tmp);
+  EXPECT_NE(fixed.find("work(std::string name)"), std::string::npos) << fixed;
+  const dlb::lint::FixStats again = dlb::lint::fix_files(inputs);
+  EXPECT_EQ(again.edits_applied, 0u);
+}
+
+// ---- incremental cache ---------------------------------------------------
+
+TEST(DlblintCache, SecondRunHitsAndMatches) {
+  const std::string cache = testing::TempDir() + "/dlblint_cache_test.txt";
+  std::remove(cache.c_str());
+  dlb::lint::Options opts;
+  opts.cache_path = cache;
+  std::vector<dlb::lint::Input> inputs;
+  for (const CorpusEntry& e : kCorpus) {
+    inputs.push_back({corpus_dir() + "/" + e.dir + "/bad." + e.ext, e.virtual_path});
+  }
+  const std::vector<Diagnostic> cold = dlb::lint::lint_files(inputs, opts);
+  ASSERT_FALSE(cold.empty());
+  std::ifstream in(cache);
+  ASSERT_TRUE(in) << "cache file must be written";
+  const std::vector<Diagnostic> warm = dlb::lint::lint_files(inputs, opts);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].file, warm[i].file);
+    EXPECT_EQ(cold[i].line, warm[i].line);
+    EXPECT_EQ(cold[i].rule, warm[i].rule);
+    EXPECT_EQ(cold[i].message, warm[i].message) << cold[i].file << ":" << cold[i].line;
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(DlblintCache, ContentChangeInvalidatesFile) {
+  const std::string cache = testing::TempDir() + "/dlblint_cache_inval.txt";
+  const std::string tmp = testing::TempDir() + "/cache_subject.cpp";
+  std::remove(cache.c_str());
+  dlb::lint::Options opts;
+  opts.cache_path = cache;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "int a() { return 1; }\n";
+  }
+  const std::vector<dlb::lint::Input> inputs = {{tmp, "src/sim/cache_subject.cpp"}};
+  EXPECT_TRUE(dlb::lint::lint_files(inputs, opts).empty());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "const char* a() { return getenv(\"A\"); }\n";
+  }
+  const std::vector<Diagnostic> diags = dlb::lint::lint_files(inputs, opts);
+  ASSERT_EQ(diags.size(), 1u) << "stale cache must not mask the new finding";
+  EXPECT_EQ(diags[0].rule, "env-read");
+  std::remove(cache.c_str());
+  std::remove(tmp.c_str());
+}
+
+// ---- suppression inventory ----------------------------------------------
+
+TEST(DlblintSuppressions, CollectsSortedWithJustifications) {
+  const std::vector<dlb::lint::Input> inputs = {
+      {corpus_dir() + "/suppression/good.cpp", "src/sim/b.cpp"},
+      {corpus_dir() + "/suppression/bad.cpp", "src/sim/a.cpp"},
+  };
+  const std::vector<dlb::lint::Suppression> sups = dlb::lint::collect_suppressions(inputs);
+  ASSERT_GE(sups.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(sups.begin(), sups.end(),
+                             [](const dlb::lint::Suppression& a,
+                                const dlb::lint::Suppression& b) {
+                               return std::tie(a.file, a.line, a.rule) <
+                                      std::tie(b.file, b.line, b.rule);
+                             }));
+  const std::string rendered = dlb::lint::render_suppressions(sups);
+  EXPECT_NE(rendered.find("allow("), std::string::npos);
+  EXPECT_NE(rendered.find("<no justification>"), std::string::npos);
 }
 
 }  // namespace

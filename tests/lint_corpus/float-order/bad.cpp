@@ -1,0 +1,24 @@
+// Linted as src/exp/corpus_float_order.cpp: merge/report sums must not fold
+// floating-point values in an iteration order the standard leaves open —
+// unordered-container bucket order and std::reduce's reassociation both
+// break the repo's byte-identical-output invariant.
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace dlb::exp {
+
+double total_latency(const std::unordered_map<int, double>& by_station) {
+  double sum = 0.0;
+  for (const auto& [id, latency] : by_station) {
+    (void)id;
+    sum += latency;  // float-order: accumulates in bucket order
+  }
+  return sum;
+}
+
+double total_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // float-order: may reassociate
+}
+
+}  // namespace dlb::exp

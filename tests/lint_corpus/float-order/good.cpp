@@ -1,0 +1,23 @@
+// Linted as src/exp/corpus_float_order.cpp: collect keys first (order does
+// not matter for that), sort them, then accumulate in sorted order — the
+// sum is a pure function of the data again.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace dlb::exp {
+
+double total_latency(const std::unordered_map<int, double>& by_station) {
+  std::vector<int> ids;
+  ids.reserve(by_station.size());
+  for (const auto& [id, latency] : by_station) {
+    (void)latency;
+    ids.push_back(id);  // order-insensitive collection
+  }
+  std::sort(ids.begin(), ids.end());
+  double sum = 0.0;
+  for (const int id : ids) sum += by_station.at(id);
+  return sum;
+}
+
+}  // namespace dlb::exp

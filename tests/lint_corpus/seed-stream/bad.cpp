@@ -1,0 +1,21 @@
+// Linted as src/svc/corpus_seed_stream.cpp: stochastic-layer RNGs must be
+// fork-salted per purpose and advance unconditionally per logical step.
+// Drawing straight from the seed couples every purpose to one stream, and a
+// draw buried in a conditional expression changes the stream shape whenever
+// the branch flips.
+
+namespace dlb::svc {
+
+struct Rng {  // stand-in for support::Rng; the rule keys on the type name
+  double uniform01() { return 0.5; }
+  Rng fork(unsigned long) { return *this; }
+};
+
+double service_time(bool warm) {
+  Rng rng(42);                           // root RNG, no fork
+  const double base = rng.uniform01();   // seed-stream: draw from unforked root
+  Rng salted = Rng(42).fork(0x53564353UL);
+  return warm ? base : salted.uniform01();  // seed-stream: conditional draw
+}
+
+}  // namespace dlb::svc

@@ -1,0 +1,20 @@
+// Linted as src/svc/corpus_seed_stream.cpp: the sanctioned idiom — fork a
+// salted stream per purpose from the root seed, draw exactly once per
+// logical step, then branch on the value.
+
+namespace dlb::svc {
+
+struct Rng {  // stand-in for support::Rng; the rule keys on the type name
+  double uniform01() { return 0.5; }
+  Rng fork(unsigned long) { return *this; }
+};
+
+inline constexpr unsigned long kServiceStream = 0x53565243UL;
+
+double service_time(bool warm) {
+  Rng service_rng = Rng(42).fork(kServiceStream);
+  const double draw = service_rng.uniform01();  // unconditional advance
+  return warm ? draw : draw * 2.0;              // branch on the value, not the draw
+}
+
+}  // namespace dlb::svc

@@ -1,0 +1,19 @@
+// Linted as src/core/corpus_shard_isolation_transitive.cpp: hiding the
+// ingress primitive one call away used to evade the per-file scan; the
+// cross-TU symbol graph sees through the helper, so the call site fires too.
+
+namespace dlb::core {
+
+struct FakeEngine {
+  void schedule_ingress(int, long, unsigned long) {}
+};
+
+void emit_remote(FakeEngine& engine) {
+  engine.schedule_ingress(1, 500, 7);  // direct finding; seeds the reach set
+}
+
+void tick(FakeEngine& engine) {
+  emit_remote(engine);  // transitive finding via the call graph
+}
+
+}  // namespace dlb::core

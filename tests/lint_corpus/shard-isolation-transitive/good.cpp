@@ -1,0 +1,23 @@
+// Linted as src/core/corpus_shard_isolation_transitive.cpp: a justified
+// waiver at the primitive site sanctions the helper, so callers of the
+// helper stay clean — one reviewed waiver covers the whole chain.
+
+namespace dlb::core {
+
+struct FakeMailbox {
+  void deliver(int) {}
+};
+
+struct FakeProc {
+  FakeMailbox& mailbox() { return box; }
+  FakeMailbox box;
+};
+
+void requeue_self(FakeProc& me, int m) {
+  // dlblint:allow(shard-isolation) re-queue into this proc's own mailbox: self to self
+  me.mailbox().deliver(m);
+}
+
+void drain(FakeProc& me) { requeue_self(me, 1); }
+
+}  // namespace dlb::core

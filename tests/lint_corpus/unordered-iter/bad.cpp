@@ -1,11 +1,13 @@
 // Linted as src/core/corpus_unordered_iter.cpp: unordered iteration order is
-// hash-seed dependent, so any fold over it varies run to run.
+// hash-seed dependent, so any fold over it varies run to run.  The counter is
+// integral on purpose — a floating-point fold here would additionally fire
+// float-order, and this fixture pins unordered-iter alone.
 #include <unordered_map>
 
 namespace dlb::sim {
 
-double total(const std::unordered_map<int, double>& weights) {
-  double sum = 0.0;
+long total(const std::unordered_map<int, long>& weights) {
+  long sum = 0;
   for (const auto& entry : weights) sum += entry.second;
   return sum;
 }

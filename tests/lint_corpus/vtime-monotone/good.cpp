@@ -1,0 +1,20 @@
+// Linted as src/load/corpus_vtime_monotone.cpp: the sanctioned clamp —
+// std::max against now() — makes the subtraction safe in both the direct
+// and the flow-through form.
+#include <algorithm>
+
+namespace dlb::load {
+
+struct FakeEngine {
+  long now() { return 0; }
+  void schedule_at(long, int) {}
+  void advance_to(long) {}
+};
+
+void reschedule(FakeEngine& engine, long deadline, long grace) {
+  const long target = std::max(engine.now(), deadline - grace);
+  engine.schedule_at(target, 1);
+  engine.advance_to(std::max(engine.now(), deadline));
+}
+
+}  // namespace dlb::load

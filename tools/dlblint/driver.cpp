@@ -12,38 +12,9 @@
 namespace dlb::lint {
 namespace {
 
-constexpr const char* kAllowMarker = "dlblint:allow(";
-
-struct Suppression {
-  int line = 0;  // comment start line; covers this line and the next
-  std::string rule;
-  bool has_justification = false;
-};
-
-/// Parses every allow marker — the kAllowMarker prefix, a parenthesized rule
-/// name, then justification text — in the file's comments.  A suppression
-/// must carry justification text after the closing parenthesis; a bare allow
-/// is itself a diagnostic, so waivers stay reviewable.
-std::vector<Suppression> parse_suppressions(const FileUnit& unit) {
-  std::vector<Suppression> out;
-  for (const Token& t : unit.all) {
-    if (t.kind != TokenKind::kComment) continue;
-    std::size_t pos = 0;
-    while ((pos = t.text.find(kAllowMarker, pos)) != std::string::npos) {
-      const std::size_t open = pos + std::string(kAllowMarker).size();
-      const std::size_t close = t.text.find(')', open);
-      if (close == std::string::npos) break;
-      Suppression s;
-      s.line = t.line;
-      s.rule = t.text.substr(open, close - open);
-      const std::string rest = t.text.substr(close + 1);
-      s.has_justification = rest.find_first_not_of(" \t") != std::string::npos;
-      out.push_back(std::move(s));
-      pos = close + 1;
-    }
-  }
-  return out;
-}
+/// Bumped whenever rule logic changes in a way the symbol-index digest
+/// cannot see; stale caches must never replay old findings.
+constexpr int kCacheFormat = 2;
 
 bool known_rule(const std::string& id) {
   for (const Rule& r : all_rules()) {
@@ -53,7 +24,9 @@ bool known_rule(const std::string& id) {
 }
 
 /// Applies suppressions to raw rule diagnostics and appends the
-/// suppression-hygiene diagnostics (bare-allow / unknown-rule).
+/// suppression-hygiene diagnostics (bare-allow / unknown-rule).  Both carry
+/// a marker-removal autofix: an unjustified or unknown marker suppresses
+/// nothing, so deleting it is behavior-preserving normalization.
 std::vector<Diagnostic> apply_suppressions(const FileUnit& unit,
                                            std::vector<Diagnostic> raw) {
   const std::vector<Suppression> sups = parse_suppressions(unit);
@@ -71,13 +44,17 @@ std::vector<Diagnostic> apply_suppressions(const FileUnit& unit,
   }
   for (const Suppression& s : sups) {
     if (!known_rule(s.rule)) {
-      out.push_back({unit.path, s.line, "unknown-rule",
-                     "suppression names unknown rule '" + s.rule +
-                         "'; run dlblint --list-rules for the catalogue"});
+      Diagnostic d{unit.path, s.line, "unknown-rule",
+                   "suppression names unknown rule '" + s.rule +
+                       "'; run dlblint --list-rules for the catalogue"};
+      d.edits.push_back({s.marker_offset, s.marker_length, ""});
+      out.push_back(std::move(d));
     } else if (!s.has_justification) {
-      out.push_back({unit.path, s.line, "bare-allow",
-                     "dlblint:allow(" + s.rule +
-                         ") without a justification; write why the waiver is sound"});
+      Diagnostic d{unit.path, s.line, "bare-allow",
+                   "dlblint:allow(" + s.rule +
+                       ") without a justification; write why the waiver is sound"};
+      d.edits.push_back({s.marker_offset, s.marker_length, ""});
+      out.push_back(std::move(d));
     }
   }
   return out;
@@ -110,8 +87,109 @@ std::vector<Diagnostic> run_rules(const FileUnit& unit, const Project& project,
   for (const Rule& rule : all_rules()) {
     if (rule_enabled(options, rule.id)) rule.fn(unit, project, raw);
   }
-  return apply_suppressions(unit, std::move(raw));
+  std::vector<Diagnostic> out = apply_suppressions(unit, std::move(raw));
+  std::sort(out.begin(), out.end());
+  return out;
 }
+
+// ---- incremental cache ---------------------------------------------------
+//
+// Line-oriented text, one header then per-file blocks:
+//   dlblintcache <format> <index-digest> <rule-filter>
+//   F <content-hash> <ndiags> <virtual-path>
+//   D <line> <rule> <json-escaped message>
+// The header ties every entry to the cross-TU graph: a change in any file
+// that moves a reach set or definition changes the digest and drops the
+// whole cache, so interprocedural findings can never go stale.  Edits are
+// not cached (fix runs bypass the cache).
+
+std::string rule_filter_key(const Options& options) {
+  std::vector<std::string> rules = options.rules;
+  std::sort(rules.begin(), rules.end());
+  std::string key = "*";
+  if (!rules.empty()) {
+    key.clear();
+    for (const std::string& r : rules) {
+      if (!key.empty()) key += ",";
+      key += r;
+    }
+  }
+  return key;
+}
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char n = s[++i];
+    if (n == 'n') out += '\n';
+    else if (n == 't') out += '\t';
+    else if (n == 'u' && i + 4 < s.size()) {
+      out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+      i += 4;
+    } else {
+      out += n;
+    }
+  }
+  return out;
+}
+
+using CacheMap = std::map<std::string, std::pair<std::uint64_t, std::vector<Diagnostic>>>;
+
+CacheMap load_cache(const std::string& path, std::uint64_t digest, const Options& options) {
+  CacheMap cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string header;
+  if (!std::getline(in, header)) return cache;
+  std::ostringstream want;
+  want << "dlblintcache " << kCacheFormat << " " << digest << " " << rule_filter_key(options);
+  if (header != want.str()) return cache;  // graph or filter moved: full rerun
+  std::string line;
+  std::string file;
+  std::uint64_t hash = 0;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 2, "F ") == 0) {
+      std::istringstream fs(line.substr(2));
+      std::size_t ndiags = 0;
+      fs >> hash >> ndiags;
+      std::getline(fs, file);
+      if (!file.empty() && file[0] == ' ') file.erase(0, 1);
+      cache[file] = {hash, {}};
+    } else if (line.compare(0, 2, "D ") == 0 && !file.empty()) {
+      std::istringstream ds(line.substr(2));
+      Diagnostic d;
+      d.file = file;
+      ds >> d.line >> d.rule;
+      std::string msg;
+      std::getline(ds, msg);
+      if (!msg.empty() && msg[0] == ' ') msg.erase(0, 1);
+      d.message = json_unescape(msg);
+      cache[file].second.push_back(std::move(d));
+    }
+  }
+  return cache;
+}
+
+void store_cache(const std::string& path, std::uint64_t digest, const Options& options,
+                 const CacheMap& cache) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return;  // unwritable cache is a soft failure, not an error
+  out << "dlblintcache " << kCacheFormat << " " << digest << " " << rule_filter_key(options)
+      << "\n";
+  for (const auto& [file, entry] : cache) {
+    out << "F " << entry.first << " " << entry.second.size() << " " << file << "\n";
+    for (const Diagnostic& d : entry.second) {
+      out << "D " << d.line << " " << d.rule << " " << json_escape(d.message) << "\n";
+    }
+  }
+}
+
+}  // namespace
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -135,8 +213,6 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 std::vector<Diagnostic> lint_source(const std::string& source, const std::string& virtual_path,
                                     const Project& project, const Options& options) {
   return run_rules(make_unit(source, virtual_path), project, options);
@@ -144,16 +220,37 @@ std::vector<Diagnostic> lint_source(const std::string& source, const std::string
 
 std::vector<Diagnostic> lint_files(const std::vector<Input>& inputs, const Options& options) {
   std::vector<FileUnit> units;
+  std::vector<std::uint64_t> hashes;
   units.reserve(inputs.size());
-  Project project;
+  hashes.reserve(inputs.size());
   for (const Input& input : inputs) {
-    units.push_back(make_unit(read_file(input.disk_path), input.virtual_path));
-    collect_project_facts(units.back(), project);
+    const std::string source = read_file(input.disk_path);
+    hashes.push_back(hash_bytes(source));
+    units.push_back(make_unit(source, input.virtual_path));
   }
+  Project project;
+  project.index = build_index(units);
+
+  CacheMap cache;
+  if (!options.cache_path.empty()) {
+    cache = load_cache(options.cache_path, project.index.digest, options);
+  }
+  CacheMap fresh;
   std::vector<Diagnostic> all;
-  for (const FileUnit& unit : units) {
-    std::vector<Diagnostic> d = run_rules(unit, project, options);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const FileUnit& unit = units[i];
+    const auto hit = cache.find(unit.path);
+    std::vector<Diagnostic> d;
+    if (hit != cache.end() && hit->second.first == hashes[i]) {
+      d = hit->second.second;  // pass 2 skipped: same bytes, same graph
+    } else {
+      d = run_rules(unit, project, options);
+    }
+    if (!options.cache_path.empty()) fresh[unit.path] = {hashes[i], d};
     all.insert(all.end(), d.begin(), d.end());
+  }
+  if (!options.cache_path.empty()) {
+    store_cache(options.cache_path, project.index.digest, options, fresh);
   }
   std::sort(all.begin(), all.end());
   return all;
@@ -180,6 +277,21 @@ std::vector<Input> discover(const std::string& root) {
   return inputs;
 }
 
+std::vector<Suppression> collect_suppressions(const std::vector<Input>& inputs) {
+  std::vector<Suppression> sups;
+  for (const Input& input : inputs) {
+    const FileUnit unit = make_unit(read_file(input.disk_path), input.virtual_path);
+    std::vector<Suppression> s = parse_suppressions(unit);
+    sups.insert(sups.end(), s.begin(), s.end());
+  }
+  std::sort(sups.begin(), sups.end(), [](const Suppression& a, const Suppression& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return sups;
+}
+
 std::string render_human(const std::vector<Diagnostic>& diags) {
   std::ostringstream os;
   for (const Diagnostic& d : diags) {
@@ -204,6 +316,16 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
        << json_escape(d.message) << "\"}";
   }
   os << (diags.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return os.str();
+}
+
+std::string render_suppressions(const std::vector<Suppression>& sups) {
+  std::ostringstream os;
+  for (const Suppression& s : sups) {
+    os << s.file << ":" << s.line << ": allow(" << s.rule << ") "
+       << (s.has_justification ? s.justification : std::string("<no justification>")) << "\n";
+  }
+  os << "dlblint: " << sups.size() << (sups.size() == 1 ? " suppression\n" : " suppressions\n");
   return os.str();
 }
 

@@ -24,12 +24,20 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kPunct;
   std::string text;
-  int line = 0;  // 1-based start line
+  int line = 0;            // 1-based start line
+  std::size_t offset = 0;  // byte offset of the token's first source byte
+  std::size_t length = 0;  // raw byte length, delimiters/prefixes included
 };
 
 /// Lexes `source` into tokens.  Never fails: malformed input degrades to
 /// punctuation tokens, which at worst makes a rule miss — the tool must not
 /// crash on any file the compiler itself rejects.
+///
+/// Span invariant (pinned by dlblint_lexer_test over the whole repo): token
+/// (offset, length) spans are in order, non-overlapping, and the bytes
+/// between consecutive spans are whitespace only — so the spans reconstruct
+/// every source file byte-exactly.  The autofixer edits files through these
+/// spans.
 [[nodiscard]] std::vector<Token> lex(const std::string& source);
 
 /// The subsequence of `tokens` that rules scan: comments and preprocessor

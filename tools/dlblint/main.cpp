@@ -1,13 +1,16 @@
 // dlblint — determinism & coroutine-safety static analysis for this repo.
 //
-//   dlblint --root=DIR [--json] [--rules=a,b]      scan src/ bench/ tests/
+//   dlblint --root=DIR [--json] [--sarif=FILE] [--rules=a,b] [--cache=FILE]
+//                                                  scan src/ bench/ tests/
 //   dlblint [--as=VPATH] [--json] FILE...          lint explicit files
-//   dlblint --list-rules
+//   dlblint --fix --root=DIR                       apply mechanical autofixes
+//   dlblint --list-rules | --list-suppressions --root=DIR
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.  Output is sorted
 // by (file, line, rule, message) and depends on nothing but file contents,
-// so repeated runs are byte-identical.
+// so repeated runs are byte-identical (the SARIF export included).
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -19,9 +22,11 @@ namespace {
 
 int usage(const char* msg) {
   if (msg != nullptr) std::cerr << "dlblint: " << msg << "\n";
-  std::cerr << "usage: dlblint --root=DIR [--json] [--rules=a,b]\n"
+  std::cerr << "usage: dlblint --root=DIR [--json] [--sarif=FILE] [--rules=a,b] [--cache=FILE]\n"
                "       dlblint [--as=VIRTUAL_PATH] [--json] [--rules=a,b] FILE...\n"
-               "       dlblint --list-rules\n";
+               "       dlblint --fix (--root=DIR | FILE...)\n"
+               "       dlblint --list-rules\n"
+               "       dlblint --list-suppressions (--root=DIR | FILE...)\n";
   return 2;
 }
 
@@ -40,8 +45,11 @@ std::vector<std::string> split_csv(const std::string& s) {
 int main(int argc, char** argv) {
   std::string root;
   std::string as_path;
+  std::string sarif_path;
   bool json = false;
+  bool fix = false;
   bool list_rules = false;
+  bool list_suppressions = false;
   dlb::lint::Options options;
   std::vector<std::string> files;
 
@@ -49,12 +57,20 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg.rfind("--as=", 0) == 0) {
       as_path = arg.substr(5);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_path = arg.substr(8);
     } else if (arg.rfind("--rules=", 0) == 0) {
       options.rules = split_csv(arg.substr(8));
     } else if (arg.rfind("--", 0) == 0) {
@@ -86,7 +102,27 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (list_suppressions) {
+      std::cout << dlb::lint::render_suppressions(dlb::lint::collect_suppressions(inputs));
+      return 0;
+    }
+    if (fix) {
+      const dlb::lint::FixStats stats = dlb::lint::fix_files(inputs, options);
+      std::cout << "dlblint: applied " << stats.edits_applied << " edit"
+                << (stats.edits_applied == 1 ? "" : "s") << " in " << stats.files_changed
+                << " file" << (stats.files_changed == 1 ? "" : "s") << " over " << stats.passes
+                << " pass" << (stats.passes == 1 ? "" : "es") << "\n";
+      return 0;
+    }
     const std::vector<dlb::lint::Diagnostic> diags = dlb::lint::lint_files(inputs, options);
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "dlblint: cannot write " << sarif_path << "\n";
+        return 2;
+      }
+      out << dlb::lint::render_sarif(diags);
+    }
     std::cout << (json ? dlb::lint::render_json(diags) : dlb::lint::render_human(diags));
     return diags.empty() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -5,6 +5,7 @@ namespace dlb::lint {
 void register_determinism_rules(std::vector<Rule>& rules);
 void register_coroutine_rules(std::vector<Rule>& rules);
 void register_layer_rules(std::vector<Rule>& rules);
+void register_flow_rules(std::vector<Rule>& rules);
 
 const std::vector<Rule>& all_rules() {
   static const std::vector<Rule> kRules = [] {
@@ -12,6 +13,7 @@ const std::vector<Rule>& all_rules() {
     register_determinism_rules(rules);
     register_coroutine_rules(rules);
     register_layer_rules(rules);
+    register_flow_rules(rules);
     return rules;
   }();
   return kRules;

@@ -2,6 +2,10 @@
 
 namespace dlb::lint {
 
+namespace {
+constexpr const char* kAllowMarker = "dlblint:allow(";
+}  // namespace
+
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
@@ -20,6 +24,12 @@ bool in_guarded_dirs(const std::string& path) {
 
 bool is_header(const std::string& path) {
   return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+bool shard_isolated_module(const std::string& module) {
+  static const std::set<std::string> kModules = {"core", "cluster", "fault",    "sched", "apps",
+                                                 "exp",  "model",   "decision", "svc"};
+  return kModules.count(module) != 0;
 }
 
 std::size_t match_forward(const std::vector<Token>& sig, std::size_t open) {
@@ -41,37 +51,49 @@ std::size_t match_forward(const std::vector<Token>& sig, std::size_t open) {
   return sig.size();
 }
 
-namespace {
-
-/// Matches `Task` `<` ... `>` IDENT `(` anchored at index `i` (the `Task`
-/// token) and reports the IDENT index, or npos.  This is the shared shape
-/// for "declared coroutine returning Task<...>".
-std::size_t task_function_name_index(const std::vector<Token>& sig, std::size_t i) {
-  if (sig[i].text != "Task" || i + 1 >= sig.size() || sig[i + 1].text != "<") return sig.size();
-  const std::size_t close = match_forward(sig, i + 1);
-  if (close == sig.size() || close + 2 >= sig.size()) return sig.size();
-  if (sig[close + 1].kind != TokenKind::kIdentifier) return sig.size();
-  if (sig[close + 2].text != "(") return sig.size();
-  return close + 1;
-}
-
-}  // namespace
-
-void collect_project_facts(const FileUnit& unit, Project& project) {
-  const std::vector<Token>& sig = unit.sig;
-  for (std::size_t i = 0; i < sig.size(); ++i) {
-    const std::size_t name = task_function_name_index(sig, i);
-    if (name != sig.size()) project.task_functions.insert(sig[name].text);
+std::vector<Suppression> parse_suppressions(const FileUnit& unit) {
+  std::vector<Suppression> out;
+  const std::string marker = kAllowMarker;
+  for (const Token& t : unit.all) {
+    if (t.kind != TokenKind::kComment) continue;
+    std::size_t pos = 0;
+    while ((pos = t.text.find(marker, pos)) != std::string::npos) {
+      const std::size_t open = pos + marker.size();
+      const std::size_t close = t.text.find(')', open);
+      if (close == std::string::npos) break;
+      Suppression s;
+      s.file = unit.path;
+      s.line = t.line;
+      s.rule = t.text.substr(open, close - open);
+      const std::string rest = t.text.substr(close + 1);
+      const std::size_t first = rest.find_first_not_of(" \t");
+      s.has_justification = first != std::string::npos;
+      if (s.has_justification) {
+        const std::size_t last = rest.find_last_not_of(" \t\r");
+        s.justification = rest.substr(first, last - first + 1);
+      }
+      // Both comment forms open with a two-byte delimiter ("//" or "/*"),
+      // and the lexer copies comment bytes verbatim after it, so text
+      // positions map to raw bytes at a fixed +2 shift.
+      s.marker_offset = t.offset + 2 + pos;
+      s.marker_length = close + 1 - pos;
+      out.push_back(std::move(s));
+      pos = close + 1;
+    }
   }
+  return out;
 }
 
 std::vector<CoroSig> coroutine_signatures(const std::vector<Token>& sig) {
   std::vector<CoroSig> out;
   for (std::size_t i = 0; i < sig.size(); ++i) {
     if (sig[i].kind != TokenKind::kIdentifier) continue;
-    if (sig[i].text == "Task") {
-      const std::size_t name = task_function_name_index(sig, i);
-      if (name != sig.size()) out.push_back(CoroSig{name, name + 1, false});
+    if (sig[i].text == "Task" && i + 1 < sig.size() && sig[i + 1].text == "<") {
+      const std::size_t close = match_forward(sig, i + 1);
+      if (close == sig.size() || close + 2 >= sig.size()) continue;
+      if (sig[close + 1].kind != TokenKind::kIdentifier) continue;
+      if (sig[close + 2].text != "(") continue;
+      out.push_back(CoroSig{close + 1, close + 2, false});
       continue;
     }
     // `Process name(` — but not `Process(` (constructor) and not a

@@ -91,23 +91,35 @@ void rule_coro_ref_param(const FileUnit& u, const Project&, std::vector<Diagnost
       else if (t == ")" && k != close) --depth;
       if (k == close || (t == "," && depth == 0)) {
         bool has_const = false, has_ref = false, has_rvref = false;
+        std::vector<TextEdit> edits;
         for (std::size_t p = param; p < k; ++p) {
-          if (sig[p].text == "const") has_const = true;
-          else if (sig[p].text == "&") has_ref = true;
-          else if (sig[p].text == "&&") has_rvref = true;
-          else if (sig[p].text == "=") break;  // default argument: stop scanning
+          if (sig[p].text == "const") {
+            has_const = true;
+            // Delete the keyword; swallow the single separating space too so
+            // the fixed signature reads naturally.
+            const bool tight_gap =
+                p + 1 < sig.size() && sig[p + 1].offset == sig[p].offset + sig[p].length + 1;
+            edits.push_back({sig[p].offset, sig[p].length + (tight_gap ? 1u : 0u), ""});
+          } else if (sig[p].text == "&" || sig[p].text == "&&") {
+            (sig[p].text == "&" ? has_ref : has_rvref) = true;
+            edits.push_back({sig[p].offset, sig[p].length, ""});
+          } else if (sig[p].text == "=") {
+            break;  // default argument: stop scanning
+          }
         }
         // Mutable lvalue refs are the sanctioned actor idiom here (they
         // cannot bind temporaries and the referents are Runtime-owned);
         // const& and && can bind a temporary that dies at the first
         // suspension point of the coroutine.
         if (has_rvref || (has_const && has_ref)) {
-          out.push_back({u.path, sig[param].line, "coro-ref-param",
-                         std::string("coroutine '") + sig[fn.name].text + "' takes a " +
-                             (has_rvref ? "rvalue-reference" : "const-reference") +
-                             " parameter; it can bind a temporary that dies at the first "
-                             "suspension — take it by value (copied into the frame) or by "
-                             "mutable reference to Runtime-owned state"});
+          Diagnostic d{u.path, sig[param].line, "coro-ref-param",
+                       std::string("coroutine '") + sig[fn.name].text + "' takes a " +
+                           (has_rvref ? "rvalue-reference" : "const-reference") +
+                           " parameter; it can bind a temporary that dies at the first "
+                           "suspension — take it by value (copied into the frame) or by "
+                           "mutable reference to Runtime-owned state"};
+          d.edits = std::move(edits);
+          out.push_back(std::move(d));
         }
         param = k + 1;
       }
@@ -120,12 +132,14 @@ void rule_unawaited_task(const FileUnit& u, const Project& project,
   // Applies everywhere (src, tests, bench): a dropped Task is a no-op bug in
   // any tree.  [[nodiscard]] catches the plain call; this also catches the
   // discard patterns warnings miss, with cross-file knowledge of which
-  // functions return Task.
+  // functions return Task — including non-coroutine wrappers that forward a
+  // Task (`return task_fn(...)`), which the symbol index closes transitively.
   const std::vector<Token>& sig = u.sig;
+  const std::set<std::string>& task_functions = project.index.task_functions;
   static const std::set<std::string> kConsumers = {"co_await", "co_return", "co_yield",
                                                    "return",   "case",      "else"};
   for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
-    if (sig[i].kind != TokenKind::kIdentifier || project.task_functions.count(sig[i].text) == 0)
+    if (sig[i].kind != TokenKind::kIdentifier || task_functions.count(sig[i].text) == 0)
       continue;
     if (sig[i + 1].text != "(") continue;
     const std::size_t close = match_forward(sig, i + 1);

@@ -181,7 +181,32 @@ bool is_guarded(const std::vector<Token>& sig, std::size_t use, const std::vecto
   return false;
 }
 
-void rule_recorder_guard(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+/// Flow-sensitive fallback: a null test of `path` anywhere earlier in the
+/// enclosing function dominates every later use in practice here (the arming
+/// idiom tests once near the top, often binding `const bool armed = obs_ !=
+/// nullptr`), so any of the test spellings before `use` inside the same body
+/// satisfies the rule.
+bool checked_earlier_in_function(const SymbolIndex& index, const FileUnit& u, std::size_t use,
+                                 const std::vector<Token>& path) {
+  const FunctionDef* fn = enclosing_function(index, u.path, use);
+  if (fn == nullptr) return false;
+  const std::vector<Token>& sig = u.sig;
+  for (std::size_t b = fn->body_open + 1; b < use; ++b) {
+    if (!tokens_match_path(sig, b, path)) continue;
+    const std::size_t after = b + path.size();
+    if (after >= sig.size()) continue;
+    const std::string& nx = sig[after].text;
+    if ((nx == "!=" || nx == "==") && after + 1 < sig.size() && sig[after + 1].text == "nullptr")
+      return true;
+    if (nx == "&&" || nx == "?") return true;
+    if (b > 0 && sig[b - 1].text == "!") return true;
+    if (b > 1 && sig[b - 1].text == "(" && sig[b - 2].text == "if" && nx == ")") return true;
+  }
+  return false;
+}
+
+void rule_recorder_guard(const FileUnit& u, const Project& project,
+                         std::vector<Diagnostic>& out) {
   if (!starts_with(u.path, "src/") || starts_with(u.path, "src/obs/")) return;
   const std::vector<Token>& sig = u.sig;
   for (std::size_t i = 0; i + 2 < sig.size(); ++i) {
@@ -191,7 +216,8 @@ void rule_recorder_guard(const FileUnit& u, const Project&, std::vector<Diagnost
     if (path_idx.empty() || !recorder_component(sig[path_idx.back()].text)) continue;
     std::vector<Token> path;
     for (std::size_t k : path_idx) path.push_back(sig[k]);
-    if (!is_guarded(sig, path_idx.front(), path)) {
+    if (!is_guarded(sig, path_idx.front(), path) &&
+        !checked_earlier_in_function(project.index, u, path_idx.front(), path)) {
       std::string spelled;
       for (const Token& t : path) spelled += t.text;
       out.push_back({u.path, sig[i + 1].line, "recorder-guard",
@@ -295,21 +321,23 @@ void rule_layer_order(const FileUnit& u, const Project&, std::vector<Diagnostic>
 
 // ---- shard-isolation -----------------------------------------------------
 
-/// Modules that run on top of the cluster/network stack.  On a sharded
-/// engine every cross-shard interaction must ride the network's ingress
-/// channel (net::Network -> Engine::schedule_ingress), which stamps the
-/// canonical ordering key and respects the cut-through lookahead.  The emu
-/// module is deliberately absent: its EmuChannel::deliver is a separate
-/// host-thread runtime with no engine shards.
-bool shard_isolated_module(const std::string& module) {
-  static const std::set<std::string> kModules = {"core", "cluster", "fault",    "sched", "apps",
-                                                 "exp",  "model",   "decision", "svc"};
-  return kModules.count(module) != 0;
-}
-
-void rule_shard_isolation(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
+// On a sharded engine every cross-shard interaction must ride the network's
+// ingress channel (net::Network -> Engine::schedule_ingress), which stamps
+// the canonical ordering key and respects the cut-through lookahead.  The
+// module boundary lives in shard_isolated_module (rules_common.cpp), shared
+// with the symbol index.
+void rule_shard_isolation(const FileUnit& u, const Project& project,
+                          std::vector<Diagnostic>& out) {
   if (!shard_isolated_module(module_of(u.path))) return;
   const std::vector<Token>& sig = u.sig;
+  // Definition-name tokens in this file: a call-site scan must not flag the
+  // definition of the offending helper itself (the direct check below fires
+  // inside its body instead, where the fix or waiver belongs).
+  std::set<std::size_t> def_names;
+  const auto fit = project.index.functions.find(u.path);
+  if (fit != project.index.functions.end()) {
+    for (const FunctionDef& d : fit->second) def_names.insert(d.name_tok);
+  }
   for (std::size_t i = 0; i < sig.size(); ++i) {
     const Token& t = sig[i];
     if (t.kind != TokenKind::kIdentifier) continue;
@@ -325,6 +353,18 @@ void rule_shard_isolation(const FileUnit& u, const Project&, std::vector<Diagnos
                      "direct 'deliver(...)' into a mailbox bypasses the network send path; on a "
                      "sharded engine it can write into another shard's window — send through "
                      "net::Network instead"});
+    } else if (i + 1 < sig.size() && sig[i + 1].text == "(" &&
+               project.index.ingress_reaching.count(t.text) != 0 &&
+               def_names.count(i) == 0 &&
+               enclosing_function(project.index, u.path, i) != nullptr) {
+      // Interprocedural: the callee's body (possibly through further calls)
+      // reaches schedule_ingress or a raw mailbox deliver without a waiver.
+      // A justified waiver at the primitive site sanctions the whole chain.
+      out.push_back({u.path, t.line, "shard-isolation",
+                     "call to '" + t.text +
+                         "' reaches 'schedule_ingress'/mailbox 'deliver' transitively (via the "
+                         "cross-TU call graph); route cross-shard work through net::Network, or "
+                         "waive at the primitive site to sanction the helper"});
     }
   }
 }
@@ -397,6 +437,34 @@ const StdSymbol kStdSymbols[] = {
     {"uintptr_t", "cstdint"},
 };
 
+/// Insertion edit that adds `#include <header>` to the alphabetically right
+/// slot of the header's first angled-include block (or after `#pragma once`
+/// when there is none).  Mechanical enough for --fix: token offsets give the
+/// exact byte positions, the replacement carries its own newline.
+std::vector<TextEdit> include_insertion(const FileUnit& u, const std::string& header) {
+  const std::string line = "#include <" + header + ">";
+  const Token* pragma_once = nullptr;
+  const Token* last_angled = nullptr;
+  for (const Token& t : u.all) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    if (t.text.find("pragma") != std::string::npos && t.text.find("once") != std::string::npos &&
+        pragma_once == nullptr)
+      pragma_once = &t;
+    const std::string angled = angled_include(t.text);
+    if (angled.empty()) continue;
+    if (angled > header) {
+      // First angled include sorting after ours: insert just before it.
+      return {TextEdit{t.offset, 0, line + "\n"}};
+    }
+    last_angled = &t;
+  }
+  if (last_angled != nullptr)
+    return {TextEdit{last_angled->offset + last_angled->length, 0, "\n" + line}};
+  if (pragma_once != nullptr)
+    return {TextEdit{pragma_once->offset + pragma_once->length, 0, "\n\n" + line}};
+  return {};
+}
+
 void rule_include_hygiene(const FileUnit& u, const Project&, std::vector<Diagnostic>& out) {
   if (!starts_with(u.path, "src/") || !is_header(u.path)) return;
   std::set<std::string> included;
@@ -426,10 +494,12 @@ void rule_include_hygiene(const FileUnit& u, const Project&, std::vector<Diagnos
     }
     if (!satisfied) {
       reported.insert(it->first);
-      out.push_back({u.path, sig[i].line, "include-hygiene",
-                     "header uses 'std::" + it->first + "' without directly including <" +
-                         headers.substr(0, headers.find(',')) +
-                         ">; self-contained headers must not rely on transitive includes"});
+      const std::string home = headers.substr(0, headers.find(','));
+      Diagnostic d{u.path, sig[i].line, "include-hygiene",
+                   "header uses 'std::" + it->first + "' without directly including <" + home +
+                       ">; self-contained headers must not rely on transitive includes"};
+      d.edits = include_insertion(u, home);
+      out.push_back(std::move(d));
     }
   }
 }

@@ -1,0 +1,76 @@
+// SARIF 2.1.0 writer for GitHub code scanning.  Hand-rolled like the JSON
+// writer: a fixed field order and fixed indentation make the document a pure
+// function of the diagnostic list, so CI can diff two exports byte-for-byte
+// to prove the exporter itself is deterministic.
+#include <map>
+#include <sstream>
+
+#include "dlblint/driver.hpp"
+
+namespace dlb::lint {
+namespace {
+
+/// Driver-level diagnostics that are not in the rule registry but can appear
+/// as results; SARIF results carry a ruleIndex, so they need entries too.
+struct ExtraRule {
+  const char* id;
+  const char* family;
+  const char* summary;
+};
+constexpr ExtraRule kDriverRules[] = {
+    {"bare-allow", "hygiene", "dlblint:allow(...) without a justification"},
+    {"unknown-rule", "hygiene", "suppression names a rule that does not exist"},
+};
+
+}  // namespace
+
+std::string render_sarif(const std::vector<Diagnostic>& diags) {
+  std::map<std::string, std::size_t> rule_index;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"dlblint\",\n"
+     << "          \"version\": \"2.0\",\n"
+     << "          \"informationUri\": \"https://example.invalid/dlblint\",\n"
+     << "          \"rules\": [";
+  std::size_t n = 0;
+  auto emit_rule = [&](const std::string& id, const std::string& family,
+                       const std::string& summary) {
+    os << (n == 0 ? "\n" : ",\n");
+    os << "            {\"id\": \"" << json_escape(id) << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(summary) << "\"}, \"properties\": {\"family\": \"" << json_escape(family)
+       << "\"}}";
+    rule_index[id] = n++;
+  };
+  for (const Rule& r : all_rules()) emit_rule(r.id, r.family, r.summary);
+  for (const ExtraRule& r : kDriverRules) emit_rule(r.id, r.family, r.summary);
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"columnKind\": \"utf16CodeUnits\",\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "        {\"ruleId\": \"" << json_escape(d.rule) << "\"";
+    const auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) os << ", \"ruleIndex\": " << it->second;
+    os << ", \"level\": \"error\", \"message\": {\"text\": \"" << json_escape(d.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(d.file)
+       << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": " << d.line
+       << "}}}]}";
+  }
+  os << (diags.empty() ? "]\n" : "\n      ]\n");
+  os << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace dlb::lint
